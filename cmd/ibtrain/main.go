@@ -1,0 +1,191 @@
+// Command ibtrain trains one of the paper's model families on a corpus and
+// persists it with encoding/gob.
+//
+// Usage:
+//
+//	ibtrain -model lda   -topics 3 -corpus corpus.jsonl -out lda3.gob
+//	ibtrain -model lstm  -layers 1 -hidden 200 -epochs 14 -corpus corpus.jsonl -out lstm.gob
+//	ibtrain -model ngram -order 2 -corpus corpus.jsonl -out bigram.gob
+//	ibtrain -model chh   -depth 2 -corpus corpus.jsonl -out chh.gob
+//	ibtrain -model bpmf  -rank 8 -corpus corpus.jsonl -out bpmf.gob
+//
+// Every model prints its held-out perplexity (where defined) on a 70/10/20
+// split so runs are comparable with the paper's Table 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bpmf"
+	"repro/internal/chh"
+	"repro/internal/corpus"
+	"repro/internal/lda"
+	"repro/internal/lstm"
+	"repro/internal/ngram"
+	"repro/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibtrain: ")
+	var (
+		model      = flag.String("model", "lda", "model family: lda | lstm | ngram | chh | bpmf")
+		corpusPath = flag.String("corpus", "corpus.jsonl", "input corpus (JSONL)")
+		out        = flag.String("out", "model.gob", "output model path")
+		seed       = flag.Int64("seed", 1, "training seed")
+
+		topics = flag.Int("topics", 3, "lda: number of latent topics")
+		tfidf  = flag.Bool("tfidf", false, "lda: use TF-IDF token weights instead of binary input")
+
+		layers  = flag.Int("layers", 1, "lstm: hidden layers (1-3)")
+		hidden  = flag.Int("hidden", 200, "lstm: nodes per layer / embedding size")
+		epochs  = flag.Int("epochs", 14, "lstm: training epochs")
+		dropout = flag.Float64("dropout", 0.2, "lstm: dropout probability")
+
+		order = flag.Int("order", 2, "ngram: model order (1-3)")
+		depth = flag.Int("depth", 2, "chh: context depth (1-2)")
+		rank  = flag.Int("rank", 8, "bpmf: latent rank")
+	)
+	flag.Parse()
+
+	c, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := rng.New(*seed)
+	split, err := corpus.PaperSplit(c, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	switch *model {
+	case "lda":
+		var weights [][]float64
+		if *tfidf {
+			weights = tfidfWeights(split.Train)
+		}
+		m, err := lda.Train(lda.Config{Topics: *topics, V: c.M()}, split.Train.Sets(), weights, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LDA%d test perplexity: %.2f (parameters: %d)\n",
+			*topics, m.Perplexity(split.Test.Sets(), g), m.ParameterCount())
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+	case "lstm":
+		m, stats, err := lstm.Train(lstm.Config{
+			V: c.M(), Layers: *layers, Hidden: *hidden,
+			Dropout: *dropout, Epochs: *epochs,
+		}, split.Train.Sequences(), split.Valid.Sequences(), g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for e, p := range stats.ValidPerpl {
+			fmt.Printf("epoch %2d: train NLL %.3f, valid perplexity %.2f\n", e+1, stats.TrainLoss[e], p)
+		}
+		fmt.Printf("LSTM %dx%d test perplexity: %.2f (parameters: %d)\n",
+			*layers, *hidden, m.Perplexity(split.Test.Sequences()), m.ParameterCount())
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+	case "ngram":
+		m, err := ngram.New(ngram.Config{Order: *order, V: c.M()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Fit(split.Train.Sequences()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-gram test perplexity: %.2f\n", *order, m.Perplexity(split.Test.Sequences()))
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+	case "chh":
+		m, err := chh.NewExact(c.M(), *depth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Fit(split.Train.Sequences()); err != nil {
+			log.Fatal(err)
+		}
+		hh := m.HeavyHitters(0.2, 50)
+		fmt.Printf("CHH depth %d: %d heavy hitters at phi=0.2, support>=50\n", *depth, len(hh))
+		for i, h := range hh {
+			if i >= 10 {
+				break
+			}
+			fmt.Printf("  %v -> %s (p=%.2f, support %.0f)\n",
+				names(c, h.Context), c.Catalog.Name(h.Item), h.Prob, h.Support)
+		}
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+	case "bpmf":
+		var ratings []bpmf.Rating
+		for i := range split.Train.Companies {
+			for _, a := range split.Train.Companies[i].Acquisitions {
+				ratings = append(ratings, bpmf.Rating{User: i, Item: a.Category, Value: 1})
+			}
+		}
+		m, err := bpmf.Train(bpmf.Config{Rank: *rank, Alpha: 25}, split.Train.N(), c.M(), ratings, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("BPMF rank %d: train RMSE %.3f\n", *rank, m.RMSE(ratings))
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown model %q (want lda|lstm|ngram|chh|bpmf)", *model)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s\n", *out)
+}
+
+func names(c *corpus.Corpus, cats []int) []string {
+	out := make([]string, len(cats))
+	for i, cat := range cats {
+		out[i] = c.Catalog.Name(cat)
+	}
+	return out
+}
+
+// tfidfWeights mirrors internal/eval's weighting: TF-IDF values rescaled so
+// each document's weights sum to its token count.
+func tfidfWeights(c *corpus.Corpus) [][]float64 {
+	tfidf := c.TFIDFMatrix()
+	sets := c.Sets()
+	out := make([][]float64, len(sets))
+	for d, doc := range sets {
+		w := make([]float64, len(doc))
+		var sum float64
+		for i, cat := range doc {
+			w[i] = tfidf.At(d, cat)
+			sum += w[i]
+		}
+		if sum > 0 {
+			scale := float64(len(doc)) / sum
+			for i := range w {
+				w[i] *= scale
+			}
+		} else {
+			for i := range w {
+				w[i] = 1
+			}
+		}
+		out[d] = w
+	}
+	return out
+}

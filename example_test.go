@@ -1,0 +1,78 @@
+package hiddenlayer
+
+import (
+	"fmt"
+)
+
+// ExampleGenerateCorpus shows corpus generation and its basic shape.
+func ExampleGenerateCorpus() {
+	c, err := GenerateCorpus(100, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("companies:", c.N())
+	fmt.Println("categories:", c.M())
+	// Output:
+	// companies: 100
+	// categories: 38
+}
+
+// ExampleSelectLDA shows model selection over a topic grid.
+func ExampleSelectLDA() {
+	c, _ := GenerateCorpus(400, 42)
+	sel, err := SelectLDA(c, []int{3}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("topics:", sel.Model.K)
+	fmt.Println("parameters:", sel.Model.ParameterCount())
+	// Output:
+	// topics: 3
+	// parameters: 117
+}
+
+// ExampleSystem_SimilarCompanies shows a filtered similarity query.
+func ExampleSystem_SimilarCompanies() {
+	c, _ := GenerateCorpus(400, 42)
+	sel, _ := SelectLDA(c, []int{3}, 1)
+	sys, _ := NewSystem(c, sel.Model, 2)
+	matches, err := sys.SimilarCompanies(0, 3, Filter{Country: "US"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("matches:", len(matches))
+	for _, m := range matches {
+		if m.Similarity < 0 || m.Similarity > 1 {
+			fmt.Println("bad similarity")
+		}
+		if c.Companies[m.CompanyID].Country != "US" {
+			fmt.Println("filter violated")
+		}
+	}
+	// Output:
+	// matches: 3
+}
+
+// ExampleSystem_RecommendProducts shows gap-based recommendations.
+func ExampleSystem_RecommendProducts() {
+	c, _ := GenerateCorpus(400, 42)
+	sel, _ := SelectLDA(c, []int{3}, 1)
+	sys, _ := NewSystem(c, sel.Model, 2)
+	recs, err := sys.RecommendProducts(0, 20, Filter{})
+	if err != nil {
+		panic(err)
+	}
+	owned := map[int]bool{}
+	for _, a := range c.Companies[0].Acquisitions {
+		owned[a.Category] = true
+	}
+	clean := true
+	for _, r := range recs {
+		if owned[r.Category] {
+			clean = false
+		}
+	}
+	fmt.Println("no owned products recommended:", clean)
+	// Output:
+	// no owned products recommended: true
+}

@@ -1,0 +1,68 @@
+// Quickstart: generate a corpus, select an LDA model by perplexity, and ask
+// for similar companies and product recommendations — the paper's end-to-end
+// workflow in one page.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hiddenlayer "repro"
+)
+
+func main() {
+	// 1. A synthetic install-base corpus (860k-company scale works too; a
+	//    small one keeps the example instant).
+	c, err := hiddenlayer.GenerateCorpus(1000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d companies x %d product categories (density %.2f)\n",
+		c.N(), c.M(), c.Density())
+
+	// 2. Model selection: the paper finds LDA with 2-4 topics fits best.
+	sel, err := hiddenlayer.SelectLDA(c, []int{2, 3, 4}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tp := range sel.Curve {
+		fmt.Printf("  LDA%-2d validation perplexity %.2f\n", tp.Topics, tp.Perplexity)
+	}
+	fmt.Printf("selected LDA%d\n\n", sel.Model.K)
+
+	// 3. Assemble the sales application.
+	sys, err := hiddenlayer.NewSystem(c, sel.Model, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Top-k similar companies for an example client.
+	const client = 17
+	co := &c.Companies[client]
+	fmt.Printf("client: %s (%s, SIC2 %d) owns %d categories\n",
+		co.Name, co.Country, co.SIC2, len(co.Acquisitions))
+	matches, err := sys.SimilarCompanies(client, 5, hiddenlayer.Filter{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("most similar companies:")
+	for _, m := range matches {
+		p := &c.Companies[m.CompanyID]
+		fmt.Printf("  %-24s similarity %.3f (%d categories)\n", p.Name, m.Similarity, len(p.Acquisitions))
+	}
+
+	// 5. Gap-based product recommendations from the 25 nearest peers.
+	recs, err := sys.RecommendProducts(client, 25, hiddenlayer.Filter{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrecommended products (owned by similar companies, missing here):")
+	for i, r := range recs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-28s strength %.3f (%d peer owners)\n", r.Name, r.Strength, r.Owners)
+	}
+}

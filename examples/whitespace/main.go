@@ -1,0 +1,104 @@
+// Whitespace: the paper's introduction scenario — a hardware provider with
+// an established client base looks for *new* customers: companies whose IT
+// install base resembles existing clients' but that are not clients yet,
+// plus the products each prospect is most likely to need.
+//
+//	go run ./examples/whitespace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hiddenlayer "repro"
+)
+
+func main() {
+	c, err := hiddenlayer.GenerateCorpus(1500, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := hiddenlayer.SelectLDA(c, []int{3}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := hiddenlayer.NewSystem(c, sel.Model, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pretend the provider's clients are the 20 companies owning the most
+	// server hardware (a plausible hardware-provider book of business).
+	serverHW := c.Catalog.MustID("server_HW")
+	var clients []int
+	for i := range c.Companies {
+		if c.Companies[i].Owns(serverHW) {
+			clients = append(clients, i)
+			if len(clients) == 20 {
+				break
+			}
+		}
+	}
+	fmt.Printf("client base: %d companies owning %s\n\n", len(clients), "server_HW")
+
+	// White-space search: nearest non-client companies, US only.
+	prospects, err := sys.Whitespace(clients, 8, hiddenlayer.Filter{Country: "US"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top white-space prospects (US):")
+	for _, p := range prospects {
+		co := &c.Companies[p.CompanyID]
+		near := &c.Companies[p.NearestClient]
+		fmt.Printf("  %-24s similarity %.3f to client %-24s (SIC2 %d, %d employees)\n",
+			co.Name, p.Similarity, near.Name, co.SIC2, co.Employees)
+	}
+
+	// For the best prospect: which products would we pitch? Gap analysis
+	// against its most similar companies.
+	best := prospects[0].CompanyID
+	recs, err := sys.RecommendProducts(best, 25, hiddenlayer.Filter{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc := &c.Companies[best]
+	fmt.Printf("\npitch list for %s (owns %d categories):\n", bc.Name, len(bc.Acquisitions))
+	for i, r := range recs {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-28s strength %.3f\n", r.Name, r.Strength)
+	}
+
+	// Real-time scoring for a company that is not in the corpus at all:
+	// infer its representation from its owned categories alone.
+	owned := []int{
+		c.Catalog.MustID("server_HW"),
+		c.Catalog.MustID("storage_HW"),
+		c.Catalog.MustID("network_HW"),
+	}
+	scores := sys.ScoreProducts(owned)
+	type cand struct {
+		cat int
+		p   float64
+	}
+	var cands []cand
+	ownedSet := map[int]bool{}
+	for _, o := range owned {
+		ownedSet[o] = true
+	}
+	for cat, p := range scores {
+		if !ownedSet[cat] {
+			cands = append(cands, cand{cat, p})
+		}
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].p > cands[j-1].p; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	fmt.Println("\nnext-product scores for an off-corpus company owning only core hardware:")
+	for i := 0; i < 5 && i < len(cands); i++ {
+		fmt.Printf("  %-28s P = %.3f\n", c.Catalog.Name(cands[i].cat), cands[i].p)
+	}
+}

@@ -1,0 +1,266 @@
+package chh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mustExact(t *testing.T, v, depth int) *Exact {
+	t.Helper()
+	e, err := NewExact(v, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewExactValidation(t *testing.T) {
+	if _, err := NewExact(0, 1); err == nil {
+		t.Fatal("v=0 accepted")
+	}
+	if _, err := NewExact(5, 3); err == nil {
+		t.Fatal("depth=3 accepted")
+	}
+	if _, err := NewExact(5, 0); err == nil {
+		t.Fatal("depth=0 accepted")
+	}
+}
+
+func TestFitRejectsBadTokens(t *testing.T) {
+	e := mustExact(t, 3, 2)
+	if err := e.Fit([][]int{{0, 7}}); err == nil {
+		t.Fatal("bad token accepted")
+	}
+}
+
+func TestCondProbDepth1(t *testing.T) {
+	e := mustExact(t, 3, 1)
+	// transitions: 0->1 three times, 0->2 once
+	if err := e.Fit([][]int{{0, 1}, {0, 1}, {0, 1}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CondProb([]int{0}, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("P(1|0) = %v, want 0.75", got)
+	}
+	if got := e.CondProb([]int{0}, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("P(2|0) = %v, want 0.25", got)
+	}
+}
+
+func TestCondProbDepth2AndBackoff(t *testing.T) {
+	e := mustExact(t, 4, 2)
+	// context (0,1) always followed by 2; context (3,1) always followed by 0
+	if err := e.Fit([][]int{{0, 1, 2}, {0, 1, 2}, {3, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CondProb([]int{0, 1}, 2); got != 1 {
+		t.Fatalf("P(2|0,1) = %v, want 1 (depth-2 context)", got)
+	}
+	if got := e.CondProb([]int{3, 1}, 0); got != 1 {
+		t.Fatalf("P(0|3,1) = %v, want 1", got)
+	}
+	// unseen depth-2 context (2,1) backs off to depth-1 P(.|1): 2/3 for 2
+	if got := e.CondProb([]int{2, 1}, 2); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("backoff P(2|?,1) = %v, want 2/3", got)
+	}
+	// unseen depth-1 context backs off to unconditional
+	got := e.CondProb([]int{2}, 2)
+	want := e.Count0[2] / e.Total0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("depth-0 backoff = %v, want %v", got, want)
+	}
+	// empty context: unconditional
+	if got := e.CondProb(nil, 1); math.Abs(got-e.Count0[1]/e.Total0) > 1e-12 {
+		t.Fatalf("empty-context prob = %v", got)
+	}
+}
+
+func TestCondProbOutOfRange(t *testing.T) {
+	e := mustExact(t, 3, 1)
+	if e.CondProb([]int{0}, 9) != 0 || e.CondProb([]int{0}, -1) != 0 {
+		t.Fatal("out-of-range item should have probability 0")
+	}
+	// untrained model: everything 0
+	if e.CondProb([]int{0}, 1) != 0 {
+		t.Fatal("untrained model should return 0")
+	}
+}
+
+func TestDistSumsToOneWhenTrained(t *testing.T) {
+	e := mustExact(t, 5, 2)
+	g := rng.New(1)
+	seqs := make([][]int, 100)
+	for i := range seqs {
+		s := make([]int, 6)
+		for j := range s {
+			s[j] = g.Intn(5)
+		}
+		seqs[i] = s
+	}
+	if err := e.Fit(seqs); err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range [][]int{{0}, {1, 2}, {4, 4}, nil} {
+		d := e.Dist(ctx)
+		var sum float64
+		for _, p := range d {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dist(%v) sums to %v", ctx, sum)
+		}
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	e := mustExact(t, 4, 2)
+	seqs := [][]int{{0, 1}, {0, 1}, {0, 1}, {0, 2}, {3, 3}}
+	if err := e.Fit(seqs); err != nil {
+		t.Fatal(err)
+	}
+	hh := e.HeavyHitters(0.7, 2)
+	// (0)->1 with prob 0.75 qualifies; (3)->3 has support 1 < 2, excluded
+	found := false
+	for _, h := range hh {
+		if len(h.Context) == 1 && h.Context[0] == 0 && h.Item == 1 {
+			found = true
+			if math.Abs(h.Prob-0.75) > 1e-12 {
+				t.Fatalf("HH prob = %v", h.Prob)
+			}
+		}
+		if h.Context[0] == 3 {
+			t.Fatal("low-support context leaked into heavy hitters")
+		}
+	}
+	if !found {
+		t.Fatalf("expected heavy hitter (0)->1, got %+v", hh)
+	}
+	// sorted by probability descending
+	for i := 1; i < len(hh); i++ {
+		if hh[i].Prob > hh[i-1].Prob+1e-12 {
+			t.Fatal("heavy hitters not sorted")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := mustExact(t, 4, 2)
+	if err := e.Fit([][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range [][]int{{0}, {0, 1}, {2, 1}} {
+		for item := 0; item < 4; item++ {
+			if math.Abs(e.CondProb(ctx, item)-got.CondProb(ctx, item)) > 1e-15 {
+				t.Fatalf("loaded model differs at %v -> %d", ctx, item)
+			}
+		}
+	}
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSparseMatchesExactWhenUnbounded(t *testing.T) {
+	g := rng.New(9)
+	seqs := make([][]int, 200)
+	for i := range seqs {
+		s := make([]int, 10)
+		for j := range s {
+			s[j] = g.Intn(6)
+		}
+		seqs[i] = s
+	}
+	e := mustExact(t, 6, 1)
+	if err := e.Fit(seqs); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSparse(6, 1000) // budget >> universe: exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FitSequences(seqs); err != nil {
+		t.Fatal(err)
+	}
+	for ctx := 0; ctx < 6; ctx++ {
+		for item := 0; item < 6; item++ {
+			ep := e.CondProb([]int{ctx}, item)
+			sp := s.CondProb(ctx, item)
+			if math.Abs(ep-sp) > 1e-12 {
+				t.Fatalf("unbounded sparse differs: P(%d|%d) exact %v sparse %v", item, ctx, ep, sp)
+			}
+		}
+	}
+}
+
+func TestSparseBudgetRespectedAndOverestimates(t *testing.T) {
+	g := rng.New(11)
+	s, err := NewSparse(20, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustExact(t, 20, 1)
+	var seqs [][]int
+	for i := 0; i < 300; i++ {
+		seq := make([]int, 8)
+		for j := range seq {
+			// skewed so some pairs are genuinely heavy
+			if g.Float64() < 0.5 {
+				seq[j] = g.Intn(3)
+			} else {
+				seq[j] = g.Intn(20)
+			}
+		}
+		seqs = append(seqs, seq)
+	}
+	if err := s.FitSequences(seqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(seqs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() > 25 {
+		t.Fatalf("budget exceeded: %d counters", s.Size())
+	}
+	// SpaceSaving invariant: tracked counts overestimate true counts.
+	for key, c := range s.counts {
+		var truth float64
+		if row := e.Count1[key[0]]; row != nil {
+			truth = row[key[1]]
+		}
+		if c+1e-9 < truth {
+			t.Fatalf("count underestimates truth for %v: %v < %v", key, c, truth)
+		}
+	}
+	// A genuinely heavy transition should be retained and detected.
+	hh := s.HeavyHitters(0.1, 50)
+	if len(hh) == 0 {
+		t.Fatal("no heavy hitters found in skewed stream")
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	if _, err := NewSparse(0, 5); err == nil {
+		t.Fatal("v=0 accepted")
+	}
+	if _, err := NewSparse(5, 0); err == nil {
+		t.Fatal("budget=0 accepted")
+	}
+	s, _ := NewSparse(3, 5)
+	if err := s.Observe(0, 9); err == nil {
+		t.Fatal("bad item accepted")
+	}
+	if s.CondProb(1, 1) != 0 {
+		t.Fatal("unseen context should give 0")
+	}
+}

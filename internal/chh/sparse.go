@@ -1,0 +1,125 @@
+package chh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is a space-bounded streaming approximation of conditional heavy
+// hitters in the spirit of the "Sparse" algorithm of Mirylenka et al.
+// (VLDB Journal 2015): it keeps at most Budget (context, item) counters and,
+// when full, evicts the entries with the smallest counts (SpaceSaving-style,
+// crediting the evicted count floor to new arrivals so counts remain
+// overestimates). Context depth is fixed at 1 for the streaming variant; the
+// exact model covers depth 2 for the paper's vocabulary sizes.
+type Sparse struct {
+	V      int
+	Budget int // max number of (context, item) counters
+
+	counts map[[2]int]float64 // {context, item} -> (over)count
+	totals map[int]float64    // context -> exact total occurrences
+	floor  float64            // count credited to new entries after evictions
+}
+
+// NewSparse creates a streaming CHH sketch holding at most budget counters.
+func NewSparse(v, budget int) (*Sparse, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("chh: vocabulary size must be positive, got %d", v)
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("chh: budget must be positive, got %d", budget)
+	}
+	return &Sparse{
+		V:      v,
+		Budget: budget,
+		counts: make(map[[2]int]float64, budget+1),
+		totals: make(map[int]float64),
+	}, nil
+}
+
+// Observe feeds one (context, item) transition into the sketch.
+func (s *Sparse) Observe(context, item int) error {
+	if context < 0 || context >= s.V || item < 0 || item >= s.V {
+		return fmt.Errorf("chh: transition (%d,%d) outside vocabulary [0,%d)", context, item, s.V)
+	}
+	s.totals[context]++
+	key := [2]int{context, item}
+	if c, ok := s.counts[key]; ok {
+		s.counts[key] = c + 1
+		return nil
+	}
+	if len(s.counts) >= s.Budget {
+		s.evictMin()
+	}
+	s.counts[key] = s.floor + 1
+	return nil
+}
+
+// evictMin removes one minimum-count entry and raises the admission floor,
+// keeping counts overestimates of true frequencies (SpaceSaving invariant).
+func (s *Sparse) evictMin() {
+	var minKey [2]int
+	minVal := -1.0
+	for k, v := range s.counts {
+		if minVal < 0 || v < minVal {
+			minKey, minVal = k, v
+		}
+	}
+	delete(s.counts, minKey)
+	if minVal > s.floor {
+		s.floor = minVal
+	}
+}
+
+// FitSequences feeds every adjacent transition of the sequences.
+func (s *Sparse) FitSequences(sequences [][]int) error {
+	for _, seq := range sequences {
+		for i := 1; i < len(seq); i++ {
+			if err := s.Observe(seq[i-1], seq[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CondProb estimates P(item | context); unseen pairs give 0.
+func (s *Sparse) CondProb(context, item int) float64 {
+	tot := s.totals[context]
+	if tot == 0 {
+		return 0
+	}
+	p := s.counts[[2]int{context, item}] / tot
+	if p > 1 {
+		p = 1 // counts are overestimates; clamp
+	}
+	return p
+}
+
+// HeavyHitters lists tracked pairs with estimated conditional probability at
+// least phi and context support at least minSupport, sorted like Exact.
+func (s *Sparse) HeavyHitters(phi, minSupport float64) []HeavyHitter {
+	var out []HeavyHitter
+	for key := range s.counts {
+		tot := s.totals[key[0]]
+		if tot < minSupport {
+			continue
+		}
+		if p := s.CondProb(key[0], key[1]); p >= phi {
+			out = append(out, HeavyHitter{Context: []int{key[0]}, Item: key[1], Prob: p, Support: tot})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		if out[i].Context[0] != out[j].Context[0] {
+			return out[i].Context[0] < out[j].Context[0]
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// Size returns the number of counters currently held.
+func (s *Sparse) Size() int { return len(s.counts) }

@@ -1,0 +1,222 @@
+// Package cluster implements k-means clustering with k-means++ seeding and
+// silhouette-score evaluation, the tools behind the paper's company-
+// clustering validation (Figure 7): company representations are clustered
+// for a sweep of cluster counts and each clustering is scored by its
+// silhouette coefficient.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// KMeansResult holds a clustering of n points into k clusters.
+type KMeansResult struct {
+	Centers    *mat.Matrix // k x d
+	Assignment []int       // n, cluster index per point
+	Inertia    float64     // sum of squared distances to assigned centers
+	Iterations int         // Lloyd iterations actually run
+}
+
+// KMeansConfig parameterizes Lloyd's algorithm.
+type KMeansConfig struct {
+	K        int
+	MaxIter  int     // 0 selects 100
+	Tol      float64 // relative inertia improvement stop; 0 selects 1e-6
+	Restarts int     // k-means++ restarts, best inertia wins; 0 selects 3
+}
+
+func (c *KMeansConfig) fillDefaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 3
+	}
+}
+
+// KMeans clusters the rows of x into cfg.K clusters.
+func KMeans(x *mat.Matrix, cfg KMeansConfig, g *rng.RNG) (*KMeansResult, error) {
+	cfg.fillDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("cluster: K must be positive, got %d", cfg.K)
+	}
+	if x.Rows < cfg.K {
+		return nil, fmt.Errorf("cluster: %d points cannot form %d clusters", x.Rows, cfg.K)
+	}
+	var best *KMeansResult
+	for r := 0; r < cfg.Restarts; r++ {
+		res := kmeansOnce(x, cfg, g)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(x *mat.Matrix, cfg KMeansConfig, g *rng.RNG) *KMeansResult {
+	n, k := x.Rows, cfg.K
+	centers := seedPlusPlus(x, k, g)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	prevInertia := math.Inf(1)
+	var inertia float64
+	iters := 0
+	for it := 0; it < cfg.MaxIter; it++ {
+		iters = it + 1
+		// assignment step
+		inertia = 0
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			bestD := math.Inf(1)
+			bestC := 0
+			for c := 0; c < k; c++ {
+				if dist := mat.SqDist(row, centers.Row(c)); dist < bestD {
+					bestD, bestC = dist, c
+				}
+			}
+			assign[i] = bestC
+			inertia += bestD
+		}
+		// update step
+		centers.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			mat.AxpyVec(1, x.Row(i), centers.Row(assign[i]))
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// re-seed an empty cluster at the point farthest from its center
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if dd := mat.SqDist(x.Row(i), centers.Row(assign[i])); dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(centers.Row(c), x.Row(far))
+				continue
+			}
+			mat.ScaleVec(1/float64(counts[c]), centers.Row(c))
+		}
+		if prevInertia-inertia <= cfg.Tol*prevInertia {
+			break
+		}
+		prevInertia = inertia
+	}
+	return &KMeansResult{Centers: centers, Assignment: assign, Inertia: inertia, Iterations: iters}
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(x *mat.Matrix, k int, g *rng.RNG) *mat.Matrix {
+	n := x.Rows
+	centers := mat.New(k, x.Cols)
+	first := g.Intn(n)
+	copy(centers.Row(0), x.Row(first))
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = mat.SqDist(x.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = g.Intn(n) // all points coincide with some center
+		} else {
+			pick = g.Categorical(d2)
+		}
+		copy(centers.Row(c), x.Row(pick))
+		for i := 0; i < n; i++ {
+			if dd := mat.SqDist(x.Row(i), centers.Row(c)); dd < d2[i] {
+				d2[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering:
+// s(i) = (b(i) - a(i)) / max(a(i), b(i)) with a(i) the mean intra-cluster
+// distance and b(i) the mean distance to the nearest other cluster
+// (Euclidean, matching sklearn's default used in the paper). Points in
+// singleton clusters contribute 0, as in sklearn. The computation is
+// O(n²·d); use SilhouetteSampled for large corpora.
+func Silhouette(x *mat.Matrix, assign []int, k int) (float64, error) {
+	n := x.Rows
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: assignment length %d != points %d", len(assign), n)
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs at least 2 clusters")
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("cluster: assignment %d outside [0,%d)", a, k)
+		}
+		counts[a]++
+	}
+	sums := make([]float64, k)
+	var total float64
+	for i := 0; i < n; i++ {
+		for c := range sums {
+			sums[c] = 0
+		}
+		row := x.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += math.Sqrt(mat.SqDist(row, x.Row(j)))
+		}
+		ci := assign[i]
+		if counts[ci] <= 1 {
+			continue // silhouette of singleton defined as 0
+		}
+		a := sums[ci] / float64(counts[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // no other non-empty cluster
+		}
+		if mx := math.Max(a, b); mx > 0 {
+			total += (b - a) / mx
+		}
+	}
+	return total / float64(n), nil
+}
+
+// SilhouetteSampled estimates the silhouette on a uniform sample of at most
+// maxPoints points (distances still measured against the sampled set), the
+// standard practical treatment for ~10^5-10^6 companies.
+func SilhouetteSampled(x *mat.Matrix, assign []int, k, maxPoints int, g *rng.RNG) (float64, error) {
+	if x.Rows <= maxPoints {
+		return Silhouette(x, assign, k)
+	}
+	idx := g.Perm(x.Rows)[:maxPoints]
+	sub := mat.New(maxPoints, x.Cols)
+	subAssign := make([]int, maxPoints)
+	for i, j := range idx {
+		copy(sub.Row(i), x.Row(j))
+		subAssign[i] = assign[j]
+	}
+	return Silhouette(sub, subAssign, k)
+}

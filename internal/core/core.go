@@ -1,0 +1,261 @@
+// Package core implements the paper's deployed application (Section 6): a
+// company-similarity index over learned LDA representations with business
+// filtering (industry, location, employees, revenue), top-k similar-company
+// search, and gap-based product recommendations — products that similar
+// companies own but the target lacks, weighted by company similarity.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+)
+
+// Metric selects the vector distance used for company similarity.
+type Metric int
+
+const (
+	// Cosine similarity: the default for topic mixtures.
+	Cosine Metric = iota
+	// Euclidean converts distance d to similarity 1/(1+d).
+	Euclidean
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	if m == Euclidean {
+		return "euclidean"
+	}
+	return "cosine"
+}
+
+// Filter restricts similarity search results, mirroring the tool's filtering
+// capabilities "based on industry, location, number of employees and
+// revenue". Zero values mean "any".
+type Filter struct {
+	SIC2         int
+	Country      string
+	MinEmployees int
+	MaxEmployees int
+	MinRevenueM  float64
+	MaxRevenueM  float64
+}
+
+// Admits reports whether a company passes the filter.
+func (f Filter) Admits(c *corpus.Company) bool {
+	if f.SIC2 != 0 && c.SIC2 != f.SIC2 {
+		return false
+	}
+	if f.Country != "" && c.Country != f.Country {
+		return false
+	}
+	if f.MinEmployees != 0 && c.Employees < f.MinEmployees {
+		return false
+	}
+	if f.MaxEmployees != 0 && c.Employees > f.MaxEmployees {
+		return false
+	}
+	if f.MinRevenueM != 0 && c.RevenueM < f.MinRevenueM {
+		return false
+	}
+	if f.MaxRevenueM != 0 && c.RevenueM > f.MaxRevenueM {
+		return false
+	}
+	return true
+}
+
+// Match is one similarity-search hit.
+type Match struct {
+	CompanyID  int
+	Similarity float64
+}
+
+// Index is the in-memory similarity index: one representation vector per
+// company (row i of reps belongs to corpus company i).
+type Index struct {
+	Corpus *corpus.Corpus
+	Reps   *mat.Matrix
+	Metric Metric
+}
+
+// NewIndex validates shapes and builds an index.
+func NewIndex(c *corpus.Corpus, reps *mat.Matrix, metric Metric) (*Index, error) {
+	if reps.Rows != c.N() {
+		return nil, fmt.Errorf("core: %d representation rows for %d companies", reps.Rows, c.N())
+	}
+	if reps.Cols < 1 {
+		return nil, fmt.Errorf("core: empty representations")
+	}
+	return &Index{Corpus: c, Reps: reps, Metric: metric}, nil
+}
+
+// similarity computes the similarity between two representation vectors.
+func (ix *Index) similarity(a, b []float64) float64 {
+	switch ix.Metric {
+	case Euclidean:
+		return 1 / (1 + math.Sqrt(mat.SqDist(a, b)))
+	default:
+		return mat.CosineSim(a, b)
+	}
+}
+
+// TopK returns the k companies most similar to company id (excluding
+// itself) that pass the filter, sorted by descending similarity with
+// deterministic id tie-breaks.
+func (ix *Index) TopK(id, k int, f Filter) ([]Match, error) {
+	if id < 0 || id >= ix.Corpus.N() {
+		return nil, fmt.Errorf("core: company id %d outside [0,%d)", id, ix.Corpus.N())
+	}
+	return ix.topKByVector(ix.Reps.Row(id), k, f, id)
+}
+
+// TopKByVector searches with an explicit query vector (e.g. the inferred
+// representation of a company outside the corpus).
+func (ix *Index) TopKByVector(query []float64, k int, f Filter) ([]Match, error) {
+	if len(query) != ix.Reps.Cols {
+		return nil, fmt.Errorf("core: query dimension %d, index dimension %d", len(query), ix.Reps.Cols)
+	}
+	return ix.topKByVector(query, k, f, -1)
+}
+
+func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]Match, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	matches := make([]Match, 0, ix.Corpus.N())
+	for i := range ix.Corpus.Companies {
+		if i == exclude || !f.Admits(&ix.Corpus.Companies[i]) {
+			continue
+		}
+		matches = append(matches, Match{CompanyID: i, Similarity: ix.similarity(query, ix.Reps.Row(i))})
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Similarity != matches[b].Similarity {
+			return matches[a].Similarity > matches[b].Similarity
+		}
+		return matches[a].CompanyID < matches[b].CompanyID
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// ProductRecommendation is one gap-based recommendation: a category the
+// target lacks, scored by the similarity-weighted share of similar companies
+// that own it ("the strength of the recommendation is measured via the
+// strength of the company similarity").
+type ProductRecommendation struct {
+	Category int
+	Name     string
+	Strength float64 // in [0,1]: similarity-weighted ownership among peers
+	Owners   int     // peers owning the category
+}
+
+// RecommendFromSimilar finds the target's top-k similar companies (after
+// filtering) and recommends the products they own that the target lacks.
+func (ix *Index) RecommendFromSimilar(id, k int, f Filter) ([]ProductRecommendation, error) {
+	peers, err := ix.TopK(id, k, f)
+	if err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	target := &ix.Corpus.Companies[id]
+	owned := make(map[int]bool)
+	for _, a := range target.Acquisitions {
+		owned[a.Category] = true
+	}
+	weight := make([]float64, ix.Corpus.M())
+	owners := make([]int, ix.Corpus.M())
+	var totalSim float64
+	for _, p := range peers {
+		sim := math.Max(p.Similarity, 0)
+		totalSim += sim
+		for _, a := range ix.Corpus.Companies[p.CompanyID].Acquisitions {
+			if owned[a.Category] {
+				continue
+			}
+			weight[a.Category] += sim
+			owners[a.Category]++
+		}
+	}
+	if totalSim == 0 {
+		return nil, nil
+	}
+	var out []ProductRecommendation
+	for cat, w := range weight {
+		if owners[cat] == 0 {
+			continue
+		}
+		out = append(out, ProductRecommendation{
+			Category: cat,
+			Name:     ix.Corpus.Catalog.Name(cat),
+			Strength: w / totalSim,
+			Owners:   owners[cat],
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Strength != out[b].Strength {
+			return out[a].Strength > out[b].Strength
+		}
+		return out[a].Category < out[b].Category
+	})
+	return out, nil
+}
+
+// Whitespace identifies prospect companies similar to an existing client
+// set: for each non-client company passing the filter, the similarity to
+// its nearest client. This is the paper's white-space motivation — "identify
+// companies that are similar to existing clients and therefore have a high
+// potential of becoming new customers".
+type WhitespaceProspect struct {
+	CompanyID     int
+	NearestClient int
+	Similarity    float64
+}
+
+// Whitespace ranks non-client companies by their similarity to the nearest
+// client, returning the top k.
+func (ix *Index) Whitespace(clientIDs []int, k int, f Filter) ([]WhitespaceProspect, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if len(clientIDs) == 0 {
+		return nil, fmt.Errorf("core: empty client set")
+	}
+	isClient := make(map[int]bool, len(clientIDs))
+	for _, id := range clientIDs {
+		if id < 0 || id >= ix.Corpus.N() {
+			return nil, fmt.Errorf("core: client id %d outside [0,%d)", id, ix.Corpus.N())
+		}
+		isClient[id] = true
+	}
+	var out []WhitespaceProspect
+	for i := range ix.Corpus.Companies {
+		if isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
+			continue
+		}
+		best := WhitespaceProspect{CompanyID: i, NearestClient: -1, Similarity: math.Inf(-1)}
+		for _, cid := range clientIDs {
+			if s := ix.similarity(ix.Reps.Row(i), ix.Reps.Row(cid)); s > best.Similarity {
+				best.Similarity, best.NearestClient = s, cid
+			}
+		}
+		out = append(out, best)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Similarity != out[b].Similarity {
+			return out[a].Similarity > out[b].Similarity
+		}
+		return out[a].CompanyID < out[b].CompanyID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+)
+
+// fixture: 6 companies with 3-dimensional topic representations forming two
+// groups (hardware-ish rows 0-2, software-ish rows 3-5).
+func fixture() (*corpus.Corpus, *mat.Matrix) {
+	cat := corpus.DefaultCatalog()
+	companies := []corpus.Company{
+		{ID: 0, Name: "HW-A", Country: "US", SIC2: 80, Employees: 100, RevenueM: 10,
+			Acquisitions: []corpus.Acquisition{{Category: 0, First: 0}, {Category: 1, First: 1}}},
+		{ID: 1, Name: "HW-B", Country: "US", SIC2: 80, Employees: 5000, RevenueM: 900,
+			Acquisitions: []corpus.Acquisition{{Category: 0, First: 0}, {Category: 2, First: 1}}},
+		{ID: 2, Name: "HW-C", Country: "DE", SIC2: 73, Employees: 50, RevenueM: 5,
+			Acquisitions: []corpus.Acquisition{{Category: 1, First: 0}, {Category: 3, First: 1}}},
+		{ID: 3, Name: "SW-A", Country: "US", SIC2: 73, Employees: 200, RevenueM: 20,
+			Acquisitions: []corpus.Acquisition{{Category: 10, First: 0}, {Category: 11, First: 1}}},
+		{ID: 4, Name: "SW-B", Country: "US", SIC2: 73, Employees: 300, RevenueM: 30,
+			Acquisitions: []corpus.Acquisition{{Category: 10, First: 0}, {Category: 12, First: 1}}},
+		{ID: 5, Name: "SW-C", Country: "GB", SIC2: 82, Employees: 400, RevenueM: 40,
+			Acquisitions: []corpus.Acquisition{{Category: 11, First: 0}, {Category: 13, First: 1}}},
+	}
+	c := corpus.New(cat, companies)
+	reps := mat.FromSlice(6, 3, []float64{
+		0.9, 0.05, 0.05,
+		0.85, 0.1, 0.05,
+		0.8, 0.15, 0.05,
+		0.05, 0.9, 0.05,
+		0.1, 0.85, 0.05,
+		0.15, 0.8, 0.05,
+	})
+	return c, reps
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	c, reps := fixture()
+	if _, err := NewIndex(c, mat.New(3, 2), Cosine); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	if _, err := NewIndex(c, mat.New(6, 0), Cosine); err == nil {
+		t.Fatal("zero-dim reps accepted")
+	}
+	if _, err := NewIndex(c, reps, Cosine); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKFindsGroup(t *testing.T) {
+	c, reps := fixture()
+	ix, err := NewIndex(c, reps, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := ix.TopK(0, 2, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	for _, m := range matches {
+		if m.CompanyID != 1 && m.CompanyID != 2 {
+			t.Fatalf("company 0's neighbors should be 1 and 2, got %d", m.CompanyID)
+		}
+		if m.CompanyID == 0 {
+			t.Fatal("query company in its own results")
+		}
+	}
+	// sorted by similarity descending
+	if matches[0].Similarity < matches[1].Similarity {
+		t.Fatal("results not sorted")
+	}
+}
+
+func TestTopKEuclidean(t *testing.T) {
+	c, reps := fixture()
+	ix, _ := NewIndex(c, reps, Euclidean)
+	matches, err := ix.TopK(3, 1, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].CompanyID != 4 {
+		t.Fatalf("nearest to SW-A should be SW-B, got %d", matches[0].CompanyID)
+	}
+	if matches[0].Similarity <= 0 || matches[0].Similarity > 1 {
+		t.Fatalf("euclidean similarity %v outside (0,1]", matches[0].Similarity)
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	c, reps := fixture()
+	ix, _ := NewIndex(c, reps, Cosine)
+	if _, err := ix.TopK(99, 2, Filter{}); err == nil {
+		t.Fatal("bad id accepted")
+	}
+	if _, err := ix.TopK(0, 0, Filter{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := ix.TopKByVector([]float64{1}, 2, Filter{}); err == nil {
+		t.Fatal("bad query dimension accepted")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	c, reps := fixture()
+	ix, _ := NewIndex(c, reps, Cosine)
+	// country filter
+	matches, err := ix.TopK(0, 5, Filter{Country: "DE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].CompanyID != 2 {
+		t.Fatalf("country filter: %+v", matches)
+	}
+	// industry filter
+	matches, _ = ix.TopK(0, 5, Filter{SIC2: 80})
+	if len(matches) != 1 || matches[0].CompanyID != 1 {
+		t.Fatalf("industry filter: %+v", matches)
+	}
+	// employee range
+	matches, _ = ix.TopK(0, 5, Filter{MinEmployees: 1000})
+	if len(matches) != 1 || matches[0].CompanyID != 1 {
+		t.Fatalf("employee filter: %+v", matches)
+	}
+	matches, _ = ix.TopK(1, 5, Filter{MaxEmployees: 60})
+	if len(matches) != 1 || matches[0].CompanyID != 2 {
+		t.Fatalf("max-employee filter: %+v", matches)
+	}
+	// revenue range
+	matches, _ = ix.TopK(0, 5, Filter{MinRevenueM: 25, MaxRevenueM: 35})
+	if len(matches) != 1 || matches[0].CompanyID != 4 {
+		t.Fatalf("revenue filter: %+v", matches)
+	}
+}
+
+func TestTopKByVector(t *testing.T) {
+	c, reps := fixture()
+	ix, _ := NewIndex(c, reps, Cosine)
+	matches, err := ix.TopKByVector([]float64{0.05, 0.9, 0.05}, 1, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].CompanyID != 3 {
+		t.Fatalf("query vector should match SW-A exactly, got %d", matches[0].CompanyID)
+	}
+	if math.Abs(matches[0].Similarity-1) > 1e-9 {
+		t.Fatalf("identical vector similarity = %v", matches[0].Similarity)
+	}
+}
+
+func TestRecommendFromSimilar(t *testing.T) {
+	c, reps := fixture()
+	ix, _ := NewIndex(c, reps, Cosine)
+	// Company 0 owns {0, 1}; peers 1 and 2 own {0, 2} and {1, 3}.
+	// Gap products: 2 (from peer 1) and 3 (from peer 2).
+	recs, err := ix.RecommendFromSimilar(0, 2, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recommendations = %+v", recs)
+	}
+	got := map[int]ProductRecommendation{}
+	for _, r := range recs {
+		got[r.Category] = r
+		if r.Strength <= 0 || r.Strength > 1 {
+			t.Fatalf("strength %v out of (0,1]", r.Strength)
+		}
+		if r.Name == "" {
+			t.Fatal("missing product name")
+		}
+		if r.Owners != 1 {
+			t.Fatalf("owners = %d", r.Owners)
+		}
+	}
+	if _, ok := got[2]; !ok {
+		t.Fatal("category 2 not recommended")
+	}
+	if _, ok := got[3]; !ok {
+		t.Fatal("category 3 not recommended")
+	}
+	// owned categories never recommended
+	if _, ok := got[0]; ok {
+		t.Fatal("owned category recommended")
+	}
+	// peer 1 is more similar to 0 than peer 2, so category 2 ranks first
+	if recs[0].Category != 2 {
+		t.Fatalf("ranking wrong: %+v", recs)
+	}
+}
+
+func TestWhitespace(t *testing.T) {
+	c, reps := fixture()
+	ix, _ := NewIndex(c, reps, Cosine)
+	// clients = {0}: the best prospects should be the other HW companies.
+	prospects, err := ix.Whitespace([]int{0}, 2, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prospects) != 2 {
+		t.Fatalf("prospects = %d", len(prospects))
+	}
+	for _, p := range prospects {
+		if p.CompanyID != 1 && p.CompanyID != 2 {
+			t.Fatalf("prospect %d should be a HW company", p.CompanyID)
+		}
+		if p.NearestClient != 0 {
+			t.Fatalf("nearest client = %d", p.NearestClient)
+		}
+	}
+	// clients never appear as prospects
+	all, _ := ix.Whitespace([]int{0, 3}, 10, Filter{})
+	for _, p := range all {
+		if p.CompanyID == 0 || p.CompanyID == 3 {
+			t.Fatal("client listed as prospect")
+		}
+	}
+	// errors
+	if _, err := ix.Whitespace(nil, 2, Filter{}); err == nil {
+		t.Fatal("empty client set accepted")
+	}
+	if _, err := ix.Whitespace([]int{99}, 2, Filter{}); err == nil {
+		t.Fatal("bad client id accepted")
+	}
+	if _, err := ix.Whitespace([]int{0}, 0, Filter{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestFilterAdmitsZeroValues(t *testing.T) {
+	c, _ := fixture()
+	f := Filter{}
+	for i := range c.Companies {
+		if !f.Admits(&c.Companies[i]) {
+			t.Fatal("empty filter must admit everything")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonCompany is the JSONL wire format for one company.
+type jsonCompany struct {
+	ID           int               `json:"id"`
+	Name         string            `json:"name"`
+	DUNS         string            `json:"duns"`
+	Country      string            `json:"country"`
+	SIC2         int               `json:"sic2"`
+	Employees    int               `json:"employees"`
+	RevenueM     float64           `json:"revenue_m"`
+	Acquisitions []jsonAcquisition `json:"acquisitions"`
+}
+
+type jsonAcquisition struct {
+	Category string `json:"category"` // by name, so files are self-describing
+	First    string `json:"first"`    // YYYY-MM
+}
+
+// jsonHeader is the first line of a corpus JSONL file.
+type jsonHeader struct {
+	Format     string   `json:"format"` // "installbase-corpus/v1"
+	Categories []string `json:"categories"`
+}
+
+const formatID = "installbase-corpus/v1"
+
+// WriteJSONL streams the corpus to w: a header line with the catalog,
+// then one JSON object per company.
+func (c *Corpus) WriteJSONL(w io.Writer) error {
+	jw, err := NewJSONLWriter(w, c.Catalog)
+	if err != nil {
+		return err
+	}
+	for i := range c.Companies {
+		if err := jw.Write(&c.Companies[i]); err != nil {
+			return err
+		}
+	}
+	return jw.Flush()
+}
+
+// ReadJSONL loads a corpus written by WriteJSONL. Unknown category names
+// are an error; the catalog is reconstructed against the default catalog's
+// metadata when names match, otherwise bare categories are created.
+func ReadJSONL(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("corpus: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("corpus: empty file")
+	}
+	var hdr jsonHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("corpus: parsing header: %w", err)
+	}
+	if hdr.Format != formatID {
+		return nil, fmt.Errorf("corpus: unknown format %q", hdr.Format)
+	}
+	def := DefaultCatalog()
+	cats := make([]Category, len(hdr.Categories))
+	for i, name := range hdr.Categories {
+		if id := def.IDByName(name); id >= 0 {
+			cats[i] = def.Categories[id]
+		} else {
+			cats[i] = Category{Name: name}
+		}
+	}
+	catalog := NewCatalog(cats)
+	var companies []Company
+	line := 1
+	for sc.Scan() {
+		line++
+		var jc jsonCompany
+		if err := json.Unmarshal(sc.Bytes(), &jc); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		co := Company{
+			ID: jc.ID, Name: jc.Name, DUNS: jc.DUNS, Country: jc.Country,
+			SIC2: jc.SIC2, Employees: jc.Employees, RevenueM: jc.RevenueM,
+		}
+		for _, a := range jc.Acquisitions {
+			id := catalog.IDByName(a.Category)
+			if id < 0 {
+				return nil, fmt.Errorf("corpus: line %d: unknown category %q", line, a.Category)
+			}
+			var y, mo int
+			if _, err := fmt.Sscanf(a.First, "%d-%d", &y, &mo); err != nil {
+				return nil, fmt.Errorf("corpus: line %d: bad month %q: %w", line, a.First, err)
+			}
+			co.Acquisitions = append(co.Acquisitions, Acquisition{Category: id, First: MonthOf(y, mo)})
+		}
+		co.SortAcquisitions()
+		companies = append(companies, co)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: scanning: %w", err)
+	}
+	return &Corpus{Catalog: catalog, Companies: companies}, nil
+}
+
+// JSONLWriter streams companies to a JSONL corpus file without holding the
+// corpus in memory (paired with datagen's streaming generation for the
+// paper's 860k-company scale).
+type JSONLWriter struct {
+	catalog *Catalog
+	bw      *bufio.Writer
+	enc     *json.Encoder
+}
+
+// NewJSONLWriter writes the header and returns a streaming writer.
+func NewJSONLWriter(w io.Writer, catalog *Catalog) (*JSONLWriter, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	names := make([]string, catalog.Size())
+	for i, cat := range catalog.Categories {
+		names[i] = cat.Name
+	}
+	if err := enc.Encode(jsonHeader{Format: formatID, Categories: names}); err != nil {
+		return nil, fmt.Errorf("corpus: writing header: %w", err)
+	}
+	return &JSONLWriter{catalog: catalog, bw: bw, enc: enc}, nil
+}
+
+// Write appends one company record.
+func (w *JSONLWriter) Write(co *Company) error {
+	jc := jsonCompany{
+		ID: co.ID, Name: co.Name, DUNS: co.DUNS, Country: co.Country,
+		SIC2: co.SIC2, Employees: co.Employees, RevenueM: co.RevenueM,
+	}
+	for _, a := range co.Acquisitions {
+		jc.Acquisitions = append(jc.Acquisitions, jsonAcquisition{
+			Category: w.catalog.Name(a.Category),
+			First:    a.First.String(),
+		})
+	}
+	if err := w.enc.Encode(jc); err != nil {
+		return fmt.Errorf("corpus: writing company %d: %w", co.ID, err)
+	}
+	return nil
+}
+
+// Flush drains buffered output; call it once after the last Write.
+func (w *JSONLWriter) Flush() error { return w.bw.Flush() }
+
+// SaveFile writes the corpus as JSONL to path.
+func (c *Corpus) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSONL corpus from path.
+func LoadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

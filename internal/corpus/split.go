@@ -1,0 +1,42 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Split is a train/validation/test partition of a corpus. The paper uses
+// 70% / 10% / 20%.
+type Split struct {
+	Train, Valid, Test *Corpus
+}
+
+// SplitFractions partitions the corpus by company with the given fractions
+// (which must be positive and sum to 1 within 1e-9), shuffling with g for
+// reproducibility.
+func SplitFractions(c *Corpus, g *rng.RNG, train, valid, test float64) (Split, error) {
+	if train <= 0 || valid < 0 || test <= 0 {
+		return Split{}, fmt.Errorf("corpus: split fractions must be positive, got %v/%v/%v", train, valid, test)
+	}
+	if s := train + valid + test; s < 1-1e-9 || s > 1+1e-9 {
+		return Split{}, fmt.Errorf("corpus: split fractions sum to %v, want 1", s)
+	}
+	n := c.N()
+	perm := g.Perm(n)
+	nTrain := int(train * float64(n))
+	nValid := int(valid * float64(n))
+	if nTrain == 0 || nTrain+nValid >= n {
+		return Split{}, fmt.Errorf("corpus: split leaves an empty part (n=%d)", n)
+	}
+	return Split{
+		Train: c.Subset(perm[:nTrain]),
+		Valid: c.Subset(perm[nTrain : nTrain+nValid]),
+		Test:  c.Subset(perm[nTrain+nValid:]),
+	}, nil
+}
+
+// PaperSplit partitions 70/10/20 as in the paper's evaluation.
+func PaperSplit(c *Corpus, g *rng.RNG) (Split, error) {
+	return SplitFractions(c, g, 0.7, 0.1, 0.2)
+}

@@ -1,0 +1,468 @@
+// Package datagen synthesizes an IT install-base corpus with the same
+// statistical structure as the proprietary HG Data corpus used in the paper:
+//
+//   - a small number of latent "IT profile" topics generates product
+//     co-occurrence (so LDA with few topics fits well and topic features
+//     discriminate companies);
+//   - a popularity skew makes a handful of categories near-ubiquitous (so
+//     the binary matrix is dense, raw binary features are non-discriminative
+//     and BPMF degenerates, as observed in the paper);
+//   - acquisition timestamps follow a noisy adoption-stage ordering (so
+//     product bigrams are significantly non-i.i.d. — the paper reports 69%
+//     of bigrams and 43% of trigrams significant — but sequences carry less
+//     signal than set membership, preserving LDA's advantage over LSTM);
+//   - companies belong to 83 SIC2 industries whose topic priors differ,
+//     giving the clustering experiments real group structure;
+//   - companies are emitted as per-site records with synthetic D-U-N-S
+//     numbers so the paper's domestic aggregation step is exercised.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/rng"
+)
+
+// Config parameterizes corpus generation. The zero value is unusable; start
+// from DefaultConfig.
+type Config struct {
+	Companies int   // number of aggregated companies to generate
+	Seed      int64 // RNG seed; same seed + config => identical corpus
+
+	Topics int // number of true latent topics (paper-like structure: 3)
+
+	// TopicConcentration controls how peaked each topic's product
+	// distribution is (higher = more peaked on its core categories).
+	TopicConcentration float64
+	// PopularityWeight blends a global Zipf popularity distribution into
+	// every company's product choices, independent of topic.
+	PopularityWeight float64
+	// PopularityExponent is the Zipf exponent of the global popularity skew.
+	PopularityExponent float64
+
+	// MeanProducts is the average install-base size (of M=38 categories).
+	// The paper's corpus is dense for recommender data; ~9-12 gives
+	// density ~0.25-0.3.
+	MeanProducts float64
+	MinProducts  int
+
+	// StageNoise is the standard deviation of the jitter added to each
+	// category's adoption stage when ordering acquisitions. Small values
+	// give near-deterministic orderings (strong sequential signal); large
+	// values approach i.i.d. ordering.
+	StageNoise float64
+
+	// IdiosyncraticNoise is the log-normal sigma of per-company,
+	// per-category preference jitter multiplied into the selection weights.
+	// It models company-specific procurement quirks that no amount of
+	// cross-company data can predict: irreducible noise that a compact
+	// model absorbs gracefully while a high-capacity sequence model wastes
+	// parameters fitting it (the paper's hypothesis for why its LSTM
+	// underperforms LDA).
+	IdiosyncraticNoise float64
+
+	// Industry topic priors: each industry prefers one topic with this
+	// concentration advantage (Dirichlet pseudo-counts).
+	IndustryPriorStrength float64
+	BackgroundPrior       float64
+
+	// Span of company IT activity.
+	EarliestStart corpus.Month
+	LatestStart   corpus.Month
+	End           corpus.Month
+
+	// RecentActivityBias, in (0,1], is the fraction of companies whose
+	// acquisition activity is stretched to reach the last years of the
+	// observation window, guaranteeing ground truth for the sliding
+	// recommendation windows.
+	RecentActivityBias float64
+
+	// MaxSitesPerCompany bounds the number of site records emitted per
+	// company when generating raw (pre-aggregation) data.
+	MaxSitesPerCompany int
+}
+
+// DefaultConfig returns the configuration used by the experiments, sized
+// for n companies.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		Companies:             n,
+		Seed:                  seed,
+		Topics:                3,
+		TopicConcentration:    180,
+		PopularityWeight:      0.6,
+		PopularityExponent:    2.4,
+		MeanProducts:          6,
+		MinProducts:           1,
+		StageNoise:            0.8,
+		IdiosyncraticNoise:    1.3,
+		IndustryPriorStrength: 16,
+		BackgroundPrior:       0.25,
+		EarliestStart:         corpus.MonthOf(1990, 1),
+		LatestStart:           corpus.MonthOf(2008, 1),
+		End:                   corpus.MonthOf(2016, 1),
+		RecentActivityBias:    0.75,
+		MaxSitesPerCompany:    3,
+	}
+}
+
+// Generator owns the latent ground-truth parameters of a synthetic corpus.
+// Exposing them lets tests verify that models recover the planted structure.
+type Generator struct {
+	Cfg     Config
+	Catalog *corpus.Catalog
+
+	// TopicProducts[k][a] = P(category a | topic k), the planted φ.
+	TopicProducts [][]float64
+	// Popularity[a] is the global popularity weight of category a.
+	Popularity []float64
+	// Stage[a] in [0,1] is category a's adoption stage (0 = early infra,
+	// 1 = late cloud/virtualization).
+	Stage []float64
+	// IndustryAlpha[sic2] is the Dirichlet prior over topics per industry.
+	IndustryAlpha map[int][]float64
+	// Industries is the SIC2 universe companies are drawn from.
+	Industries []corpus.Industry
+}
+
+// NewGenerator validates cfg and derives the planted latent structure.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Companies <= 0 {
+		return nil, fmt.Errorf("datagen: Companies must be positive, got %d", cfg.Companies)
+	}
+	if cfg.Topics < 1 {
+		return nil, fmt.Errorf("datagen: Topics must be >= 1, got %d", cfg.Topics)
+	}
+	if cfg.MeanProducts <= float64(cfg.MinProducts) {
+		return nil, fmt.Errorf("datagen: MeanProducts %v must exceed MinProducts %d", cfg.MeanProducts, cfg.MinProducts)
+	}
+	if cfg.PopularityWeight < 0 || cfg.PopularityWeight > 1 {
+		return nil, fmt.Errorf("datagen: PopularityWeight must be in [0,1]")
+	}
+	if cfg.RecentActivityBias < 0 || cfg.RecentActivityBias > 1 {
+		return nil, fmt.Errorf("datagen: RecentActivityBias must be in [0,1]")
+	}
+	if cfg.EarliestStart >= cfg.LatestStart || cfg.LatestStart >= cfg.End {
+		return nil, fmt.Errorf("datagen: require EarliestStart < LatestStart < End")
+	}
+	if cfg.MaxSitesPerCompany < 1 {
+		return nil, fmt.Errorf("datagen: MaxSitesPerCompany must be >= 1")
+	}
+	g := &Generator{Cfg: cfg, Catalog: corpus.DefaultCatalog(), Industries: corpus.SIC2Industries()}
+	g.plantStructure()
+	return g, nil
+}
+
+// topicCores names the coherent category groups each topic concentrates on.
+// With more topics than cores, extra topics get rotated subsets.
+var topicCores = [][]string{
+	{ // datacenter & basic hardware
+		"server_HW", "storage_HW", "HW_other", "mainframs", "midrange",
+		"network_HW", "IT_infrastructure", "printers", "communication_tech",
+		"telephony", "data_archiving", "disaster_recovery",
+	},
+	{ // business applications
+		"commerce", "media", "collaboration", "product_lifecycle",
+		"electronics_PCs_SW", "retail", "financial_apps", "HR_human_management",
+		"document_management", "contact_center", "search_engine", "asset_performance",
+	},
+	{ // virtualization, cloud & platform software
+		"hypervisor", "virtualization_apps", "virtualization_platform",
+		"virtualization_server", "cloud_infrastructure", "platform_as_a_service",
+		"OS", "DBMS", "server_SW", "network_SW", "security_management",
+		"system_security_services", "remote", "mobile_tech",
+	},
+}
+
+func (g *Generator) plantStructure() {
+	m := g.Catalog.Size()
+	root := rng.New(g.Cfg.Seed)
+	structRNG := root.Split()
+
+	// Topic-product distributions: base mass everywhere, concentrated mass
+	// on the topic's core categories.
+	g.TopicProducts = make([][]float64, g.Cfg.Topics)
+	for k := 0; k < g.Cfg.Topics; k++ {
+		w := make([]float64, m)
+		for a := range w {
+			w[a] = 1
+		}
+		core := topicCores[k%len(topicCores)]
+		// rotate the core for synthetic extra topics so they differ
+		off := k / len(topicCores)
+		for i := range core {
+			id := g.Catalog.MustID(core[(i+off)%len(core)])
+			w[id] += g.Cfg.TopicConcentration * (0.6 + 0.8*structRNG.Float64())
+		}
+		total := 0.0
+		for _, v := range w {
+			total += v
+		}
+		for a := range w {
+			w[a] /= total
+		}
+		g.TopicProducts[k] = w
+	}
+
+	// Global popularity: Zipf over a fixed popularity ranking. The most
+	// popular categories are the ubiquitous infrastructure ones.
+	popOrder := []string{
+		"OS", "network_HW", "security_management", "server_HW", "collaboration",
+		"printers", "DBMS", "server_SW", "storage_HW", "electronics_PCs_SW",
+	}
+	g.Popularity = make([]float64, m)
+	rank := make([]int, m)
+	for a := range rank {
+		rank[a] = len(popOrder) + a // default: behind the named ones
+	}
+	for r, name := range popOrder {
+		rank[g.Catalog.MustID(name)] = r
+	}
+	for a := 0; a < m; a++ {
+		g.Popularity[a] = 1 / math.Pow(float64(rank[a]+1), g.Cfg.PopularityExponent)
+	}
+	norm := 0.0
+	for _, v := range g.Popularity {
+		norm += v
+	}
+	for a := range g.Popularity {
+		g.Popularity[a] /= norm
+	}
+
+	// Adoption stages: hardware/basic infra early, apps mid, cloud late,
+	// with small planted jitter so stages differ within a group. The
+	// coarse (three-level) structure produces consistent cross-company
+	// acquisition ordering — the sequentiality the paper's binomial tests
+	// detect — without a strict global order that a sequence model could
+	// exploit as an elimination signal.
+	g.Stage = make([]float64, m)
+	for a, cat := range g.Catalog.Categories {
+		var base float64
+		switch {
+		case cat.Group == corpus.Hardware:
+			base = 0.2
+		case cat.Parent == "Data Center Solution":
+			base = 0.75
+		case cat.Parent == "Software (Infrastructure)":
+			base = 0.55
+		default:
+			base = 0.45
+		}
+		g.Stage[a] = clamp01(base + 0.12*structRNG.Norm())
+	}
+
+	// Industry priors: each industry prefers one topic.
+	g.IndustryAlpha = make(map[int][]float64, len(g.Industries))
+	for i, ind := range g.Industries {
+		alpha := make([]float64, g.Cfg.Topics)
+		for k := range alpha {
+			alpha[k] = g.Cfg.BackgroundPrior
+		}
+		alpha[i%g.Cfg.Topics] += g.Cfg.IndustryPriorStrength
+		g.IndustryAlpha[ind.SIC2] = alpha
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Generate produces the aggregated corpus directly.
+func (g *Generator) Generate() *corpus.Corpus {
+	companies := make([]corpus.Company, 0, g.Cfg.Companies)
+	if err := g.Each(func(c corpus.Company) error {
+		companies = append(companies, c)
+		return nil
+	}); err != nil {
+		panic(err) // Each only fails when fn fails; ours cannot
+	}
+	return corpus.New(g.Catalog, companies)
+}
+
+// Each streams the corpus one company at a time without materializing it,
+// so the paper's full 860k-company scale runs in bounded memory
+// (e.g. `ibgen -companies 860000` pipes companies straight to JSONL).
+// The stream is identical to Generate's for the same configuration.
+func (g *Generator) Each(fn func(corpus.Company) error) error {
+	root := rng.New(g.Cfg.Seed)
+	root.Split() // skip the structure stream
+	companyRNG := root.Split()
+	for i := 0; i < g.Cfg.Companies; i++ {
+		c := g.genCompany(i, companyRNG)
+		c.SortAcquisitions()
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateSites produces raw per-site records for the aggregation pipeline;
+// corpus.AggregateDomestic(sites) reconstructs the companies (possibly with
+// sites in several countries, which aggregate separately, as in the paper).
+func (g *Generator) GenerateSites() []corpus.SiteRecord {
+	c := g.Generate()
+	root := rng.New(g.Cfg.Seed + 1)
+	var sites []corpus.SiteRecord
+	for i := range c.Companies {
+		co := &c.Companies[i]
+		ns := 1 + root.Intn(g.Cfg.MaxSitesPerCompany)
+		if len(co.Acquisitions) < ns {
+			ns = 1
+		}
+		// Distribute acquisitions round-robin; the first site also repeats
+		// a random subset with LATER first-seen months, so aggregation's
+		// earliest-wins rule is exercised.
+		siteAcqs := make([][]corpus.Acquisition, ns)
+		for j, a := range co.Acquisitions {
+			s := j % ns
+			siteAcqs[s] = append(siteAcqs[s], a)
+			if s != 0 && root.Float64() < 0.3 {
+				dup := a
+				dup.First += corpus.Month(1 + root.Intn(12))
+				if dup.First >= g.Cfg.End {
+					dup.First = g.Cfg.End - 1
+				}
+				siteAcqs[0] = append(siteAcqs[0], dup)
+			}
+		}
+		for s := 0; s < ns; s++ {
+			sites = append(sites, corpus.SiteRecord{
+				SiteDUNS:     fmt.Sprintf("%09d", i*10+s+1),
+				DomesticDUNS: co.DUNS,
+				CompanyName:  co.Name,
+				Country:      co.Country,
+				SIC2:         co.SIC2,
+				Employees:    co.Employees / ns,
+				RevenueM:     co.RevenueM / float64(ns),
+				Acquisitions: siteAcqs[s],
+			})
+		}
+	}
+	return sites
+}
+
+func (g *Generator) genCompany(id int, parent *rng.RNG) corpus.Company {
+	r := parent.Split()
+	m := g.Catalog.Size()
+	ind := g.Industries[r.Intn(len(g.Industries))]
+
+	// Topic mixture for this company.
+	theta := r.Dirichlet(g.IndustryAlpha[ind.SIC2])
+
+	// Install-base size.
+	n := g.Cfg.MinProducts + r.Poisson(g.Cfg.MeanProducts-float64(g.Cfg.MinProducts))
+	if n > m {
+		n = m
+	}
+
+	// Category selection without replacement from the blended distribution.
+	weights := make([]float64, m)
+	for a := 0; a < m; a++ {
+		var topicP float64
+		for k, th := range theta {
+			topicP += th * g.TopicProducts[k][a]
+		}
+		weights[a] = g.Cfg.PopularityWeight*g.Popularity[a] + (1-g.Cfg.PopularityWeight)*topicP
+		if g.Cfg.IdiosyncraticNoise > 0 {
+			weights[a] *= math.Exp(g.Cfg.IdiosyncraticNoise * r.Norm())
+		}
+	}
+	chosen := make([]int, 0, n)
+	for len(chosen) < n {
+		a := r.Categorical(weights)
+		weights[a] = 0 // without replacement
+		chosen = append(chosen, a)
+	}
+
+	// Order by noisy adoption stage: consistent across companies (sequential
+	// signal) but imperfect (noise), like real adoption behaviour.
+	type staged struct {
+		cat   int
+		score float64
+	}
+	order := make([]staged, len(chosen))
+	for i, a := range chosen {
+		order[i] = staged{cat: a, score: g.Stage[a] + g.Cfg.StageNoise*r.Norm()}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].score < order[j-1].score; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	// Timestamps: order statistics of uniforms over the company's activity
+	// span, assigned in adoption order so times respect the sequence.
+	start := g.Cfg.EarliestStart +
+		corpus.Month(r.Intn(int(g.Cfg.LatestStart-g.Cfg.EarliestStart)))
+	end := g.Cfg.End
+	if r.Float64() > g.Cfg.RecentActivityBias {
+		// a minority of companies went quiet before the window era
+		span := int(end - start)
+		end = start + corpus.Month(span/2+r.Intn(span/2))
+	}
+	span := int(end - start)
+	times := make([]int, len(order))
+	for i := range times {
+		times[i] = r.Intn(span)
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+
+	acqs := make([]corpus.Acquisition, len(order))
+	for i := range order {
+		acqs[i] = corpus.Acquisition{Category: order[i].cat, First: start + corpus.Month(times[i])}
+	}
+
+	employees := int(20 * math.Exp(r.Gaussian(float64(len(chosen))/6, 0.9)))
+	if employees < 1 {
+		employees = 1
+	}
+	revenue := 0.35 * float64(employees) * math.Exp(r.Gaussian(0, 0.4))
+
+	country := "US"
+	switch {
+	case r.Float64() < 0.08:
+		country = "DE"
+	case r.Float64() < 0.08:
+		country = "GB"
+	case r.Float64() < 0.05:
+		country = "CH"
+	case r.Float64() < 0.05:
+		country = "CA"
+	}
+
+	return corpus.Company{
+		ID:           id,
+		Name:         companyName(r),
+		DUNS:         fmt.Sprintf("%09d", 100000000+id),
+		Country:      country,
+		SIC2:         ind.SIC2,
+		Employees:    employees,
+		RevenueM:     math.Round(revenue*100) / 100,
+		Acquisitions: acqs,
+	}
+}
+
+var (
+	namePrefix = []string{"Apex", "Blue", "Cedar", "Delta", "Echo", "Fair", "Gran", "Haven", "Iron", "Juno", "Kite", "Luna", "Mesa", "Nova", "Onyx", "Pine", "Quartz", "Ridge", "Stone", "Terra", "Ultra", "Vista", "Wren", "Xenon", "York", "Zephyr"}
+	nameStem   = []string{"core", "field", "forge", "gate", "grid", "lake", "line", "mark", "net", "peak", "point", "port", "scape", "shore", "span", "tech", "ton", "vale", "view", "works"}
+	nameSuffix = []string{"Inc", "LLC", "Group", "Corp", "Partners", "Systems", "Holdings", "Labs", "Industries", "Services"}
+)
+
+func companyName(r *rng.RNG) string {
+	return namePrefix[r.Intn(len(namePrefix))] +
+		nameStem[r.Intn(len(nameStem))] + " " +
+		nameSuffix[r.Intn(len(nameSuffix))]
+}

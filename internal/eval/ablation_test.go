@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGRUAblation(t *testing.T) {
+	ctx := quickCtx(t)
+	res, err := RunGRUAblation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ctx.Scale.LSTMHiddenGrid) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.LSTMPerpl <= 1 || row.GRUPerpl <= 1 ||
+			math.IsNaN(row.LSTMPerpl) || math.IsNaN(row.GRUPerpl) {
+			t.Fatalf("implausible perplexities %+v", row)
+		}
+		// GRU cells carry 3/4 of the LSTM's recurrent parameters.
+		if row.GRUParams >= row.LSTMParams {
+			t.Fatalf("GRU params %d not below LSTM %d", row.GRUParams, row.LSTMParams)
+		}
+		// Both must beat the uniform bound on structured data.
+		if row.LSTMPerpl >= 38 || row.GRUPerpl >= 38 {
+			t.Fatalf("sequence models failed to learn: %+v", row)
+		}
+	}
+	if !strings.Contains(res.Render(), "GRU vs LSTM") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestWindowSizeAblation(t *testing.T) {
+	ctx := quickCtx(t)
+	res, err := RunWindowSizeAblation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Recall.Mean < 0 || row.Recall.Mean > 1 {
+			t.Fatalf("recall %v out of range", row.Recall.Mean)
+		}
+		want := []int{6, 12, 18, 24}[i]
+		if row.Months != want {
+			t.Fatalf("window %d, want %d", row.Months, want)
+		}
+	}
+	if !strings.Contains(res.Render(), "Window-size") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestCHHDepthAblation(t *testing.T) {
+	ctx := quickCtx(t)
+	res, err := RunCHHDepthAblation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		for _, v := range []float64{row.Recall1, row.Recall2} {
+			if v < 0 || v > 1 {
+				t.Fatalf("recall out of range: %+v", row)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "depth") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTopicReport(t *testing.T) {
+	ctx := quickCtx(t)
+	rep, err := RunTopicReport(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Topics != 3 || len(rep.TopWords) != 3 {
+		t.Fatalf("report shape %+v", rep)
+	}
+	for z, words := range rep.TopWords {
+		if len(words) != 8 {
+			t.Fatalf("topic %d has %d top words", z, len(words))
+		}
+		for _, w := range words {
+			if w == "" {
+				t.Fatal("empty product name")
+			}
+		}
+		if rep.Purity[z] < 0.5 || rep.Purity[z] > 1 {
+			t.Fatalf("purity %v out of range", rep.Purity[z])
+		}
+	}
+	if rep.MeanPurity <= 0.5 {
+		t.Fatalf("mean purity %.2f; topics should be group-coherent", rep.MeanPurity)
+	}
+	if !strings.Contains(rep.Render(), "interpretability") {
+		t.Fatal("render broken")
+	}
+}

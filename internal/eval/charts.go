@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/plot"
+	"repro/internal/recommend"
+)
+
+// Chart builders: each figure result can render itself as an SVG chart
+// mirroring the paper's plot. cmd/ibeval writes them when -svgdir is set.
+
+// Chart renders Figure 1 as a line chart (perplexity vs embedding size,
+// one series per layer count).
+func (r *Figure1Result) Chart() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:  "Figure 1: LSTM average perplexity per product (test data)",
+		XLabel: "product embedding size",
+		YLabel: "perplexity",
+	}
+	for li, layers := range r.Layers {
+		s := plot.Series{Name: fmt.Sprintf("%d layer(s)", layers)}
+		for hi, hidden := range r.HiddenSizes {
+			s.X = append(s.X, float64(hidden))
+			s.Y = append(s.Y, r.Perpl[li][hi])
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Chart renders Figure 2 (perplexity vs topic count, binary vs TF-IDF).
+func (r *Figure2Result) Chart() *plot.LineChart {
+	xs := make([]float64, len(r.Topics))
+	for i, k := range r.Topics {
+		xs[i] = float64(k)
+	}
+	return &plot.LineChart{
+		Title:  "Figure 2: LDA average perplexity (test data)",
+		XLabel: "number of latent topics",
+		YLabel: "perplexity",
+		Series: []plot.Series{
+			{Name: "input: binary", X: xs, Y: r.BinaryPerpl},
+			{Name: "input: TF-IDF", X: xs, Y: r.TFIDFPerpl, Dashed: true},
+		},
+	}
+}
+
+// sweepSeries extracts one metric of a sweep as a plot series.
+func sweepSeries(s *recommend.SweepResult, metric string, dashed bool) plot.Series {
+	out := plot.Series{Name: metric + "_" + s.Model, Dashed: dashed}
+	for i, phi := range s.Phi {
+		out.X = append(out.X, phi)
+		switch metric {
+		case "Recall":
+			out.Y = append(out.Y, s.Recall[i].Mean)
+		case "F1":
+			out.Y = append(out.Y, s.F1[i].Mean)
+		case "Precision":
+			out.Y = append(out.Y, s.Precision[i].Mean)
+		case "retrieved":
+			out.Y = append(out.Y, s.Retrieved[i].Mean)
+		case "correct":
+			out.Y = append(out.Y, s.CorrectlyRetrieved[i].Mean)
+		}
+	}
+	return out
+}
+
+// ChartFigure3 renders recall and F1 vs phi for every model.
+func (r *Figure34Result) ChartFigure3() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:    "Figure 3: Recall and F1-score vs probability threshold",
+		XLabel:   "probability threshold phi",
+		YLabel:   "accuracy measure",
+		YMinZero: true,
+	}
+	for _, s := range r.Sweeps {
+		if s.Model == "random" {
+			continue // the paper plots the three model recommenders
+		}
+		c.Series = append(c.Series, sweepSeries(s, "Recall", false))
+		c.Series = append(c.Series, sweepSeries(s, "F1", true))
+	}
+	return c
+}
+
+// ChartFigure4 renders retrieved/correct counts vs phi.
+func (r *Figure34Result) ChartFigure4() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:    "Figure 4: Retrieved and correctly retrieved products",
+		XLabel:   "probability threshold phi",
+		YLabel:   "number of products",
+		YMinZero: true,
+	}
+	for _, s := range r.Sweeps {
+		if s.Model == "random" {
+			continue
+		}
+		c.Series = append(c.Series, sweepSeries(s, "retrieved", false))
+		c.Series = append(c.Series, sweepSeries(s, "correct", true))
+	}
+	if len(r.Sweeps) > 0 {
+		rel := r.Sweeps[0].Relevant.Mean
+		s := plot.Series{Name: "relevant (ground truth)"}
+		for _, phi := range r.Sweeps[0].Phi {
+			s.X = append(s.X, phi)
+			s.Y = append(s.Y, rel)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Chart renders the BPMF score boxplot (Figure 5).
+func (r *Figure5Result) Chart() *plot.Box {
+	return &plot.Box{
+		Title: "Figure 5: BPMF recommendation score values",
+		Min:   r.Box.Min, Q1: r.Box.Q1, Median: r.Box.Median,
+		Q3: r.Box.Q3, Max: r.Box.Max,
+		WhiskerLo: r.Box.WhiskerLo, WhiskerHi: r.Box.WhiskerHi,
+		Outliers: r.Box.Outliers,
+	}
+}
+
+// Chart renders the BPMF accuracy sweep (Figure 6).
+func (r *Figure6Result) Chart() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:    "Figure 6: BPMF accuracy vs recommendation-score threshold",
+		XLabel:   "recommendation score threshold",
+		YLabel:   "accuracy measure",
+		YMinZero: true,
+	}
+	c.Series = append(c.Series, sweepSeries(r.Sweep, "Precision", false))
+	c.Series = append(c.Series, sweepSeries(r.Sweep, "Recall", false))
+	c.Series = append(c.Series, sweepSeries(r.Sweep, "F1", true))
+	return c
+}
+
+// Chart renders the silhouette curves (Figure 7).
+func (r *Figure7Result) Chart() *plot.LineChart {
+	xs := make([]float64, len(r.ClusterCounts))
+	for i, k := range r.ClusterCounts {
+		xs[i] = float64(k)
+	}
+	c := &plot.LineChart{
+		Title:  "Figure 7: Silhouette curves",
+		XLabel: "number of clusters",
+		YLabel: "silhouette score",
+	}
+	for _, curve := range r.Curves {
+		c.Series = append(c.Series, plot.Series{Name: curve.Feature, X: xs, Y: curve.Scores})
+	}
+	return c
+}
+
+// Charts renders the t-SNE projections (Figures 8 and 9).
+func (r *Figure89Result) Charts() (lda3, lda4 *plot.Scatter) {
+	build := func(title string, pts []ProductPoint) *plot.Scatter {
+		s := &plot.Scatter{Title: title}
+		for _, p := range pts {
+			group := 0
+			if p.Group == corpus.Software {
+				group = 1
+			}
+			s.Points = append(s.Points, plot.LabeledPoint{Label: p.Name, Group: group, X: p.X, Y: p.Y})
+		}
+		return s
+	}
+	return build("Figure 8: LDA3 product embeddings", r.LDA3),
+		build("Figure 9: LDA4 product embeddings", r.LDA4)
+}
+
+// WriteFigureSVG writes one chart file into dir.
+func WriteFigureSVG(dir, name, svg string) error {
+	return plot.WriteFile(filepath.Join(dir, name), svg)
+}

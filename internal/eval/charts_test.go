@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChartsRender(t *testing.T) {
+	ctx := quickCtx(t)
+
+	fig2, err := RunFigure2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := fig2.Chart().SVG()
+	if !strings.Contains(svg, "TF-IDF") || !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("fig2 chart broken")
+	}
+
+	fig5, err := RunFigure5(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5.Chart().SVG(), "rect") {
+		t.Fatal("fig5 chart broken")
+	}
+
+	fig7, err := RunFigure7(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg = fig7.Chart().SVG()
+	for _, name := range []string{"raw", "lda_3", "tfidf_lda_2"} {
+		if !strings.Contains(svg, name) {
+			t.Fatalf("fig7 chart missing series %q", name)
+		}
+	}
+
+	fig89, err := RunFigure89(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, s4 := fig89.Charts()
+	if !strings.Contains(s3.SVG(), "server_HW") || !strings.Contains(s4.SVG(), "commerce") {
+		t.Fatal("t-SNE charts missing product labels")
+	}
+
+	dir := t.TempDir()
+	if err := WriteFigureSVG(dir, "fig2.svg", fig2.Chart().SVG()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2.svg")); err != nil {
+		t.Fatal("svg file not written")
+	}
+}
+
+func TestSweepCharts(t *testing.T) {
+	ctx := quickCtx(t)
+	fig34, err := RunFigure34(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := fig34.ChartFigure3().SVG()
+	if !strings.Contains(c3, "Recall_LDA3") || !strings.Contains(c3, "F1_CHH") {
+		t.Fatal("fig3 chart missing series")
+	}
+	if strings.Contains(c3, "random") {
+		t.Fatal("random baseline should not be plotted (matches paper)")
+	}
+	c4 := fig34.ChartFigure4().SVG()
+	if !strings.Contains(c4, "relevant (ground truth)") {
+		t.Fatal("fig4 chart missing ground-truth line")
+	}
+
+	fig6, err := RunFigure6(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig6.Chart().SVG(), "Recall_BPMF") {
+		t.Fatal("fig6 chart broken")
+	}
+
+	fig1, err := RunFigure1(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig1.Chart().SVG(), "1 layer(s)") {
+		t.Fatal("fig1 chart broken")
+	}
+}

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmbeddingComparison(t *testing.T) {
+	ctx := quickCtx(t)
+	res, err := RunEmbeddingComparison(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	byName := map[string][]float64{}
+	for _, c := range res.Curves {
+		byName[c.Feature] = c.Scores
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		var n int
+		for _, v := range xs {
+			if !math.IsNaN(v) {
+				s += v
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	// SGNS company embeddings should beat raw binary features (they encode
+	// co-occurrence structure), even if LDA remains the best.
+	if mean(byName["sgns_mean"]) <= mean(byName["raw"]) {
+		t.Fatalf("SGNS (%.3f) should beat raw binary (%.3f)",
+			mean(byName["sgns_mean"]), mean(byName["raw"]))
+	}
+	// Neighbor agreement must clearly exceed chance. Random 5-of-37 sets
+	// overlap with Jaccard ~0.07.
+	if res.NeighborAgreement < 0.15 {
+		t.Fatalf("SGNS/LDA neighbor agreement %.3f barely above chance", res.NeighborAgreement)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "sgns_mean") || !strings.Contains(out, "Jaccard") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := jaccard([]int{1, 2, 3}, []int{2, 3, 4}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("jaccard = %v, want 0.5", got)
+	}
+	if jaccard(nil, nil) != 0 {
+		t.Fatal("empty jaccard should be 0")
+	}
+	if jaccard([]int{1}, []int{1}) != 1 {
+		t.Fatal("identical sets should be 1")
+	}
+}

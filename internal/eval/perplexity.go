@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/lda"
+	"repro/internal/lstm"
+	"repro/internal/ngram"
+)
+
+// SeqTestResult reproduces the sequentiality analysis quoted in Section 5:
+// the paper reports 69% of bigrams and 43% of trigrams significantly more
+// frequent than under i.i.d. products.
+type SeqTestResult struct {
+	Report ngram.SequentialityReport
+}
+
+// RunSequentialityTest runs the binomial n-gram test on the full corpus.
+func RunSequentialityTest(ctx *Context) SeqTestResult {
+	return SeqTestResult{
+		Report: ngram.TestSequentiality(ctx.Corpus.Sequences(), ctx.Corpus.M(), ctx.Scale.Alpha),
+	}
+}
+
+// Figure2Result is the LDA perplexity curve (paper Figure 2): test-set
+// perplexity versus number of latent topics for binary and TF-IDF inputs.
+type Figure2Result struct {
+	Topics      []int
+	BinaryPerpl []float64
+	TFIDFPerpl  []float64
+
+	BestTopics int
+	BestPerpl  float64
+}
+
+// RunFigure2 trains LDA on the training split for every topic count in the
+// scale's grid, with both input variants, and evaluates fold-in perplexity
+// on the test split.
+func RunFigure2(ctx *Context) (*Figure2Result, error) {
+	trainDocs := ctx.Split.Train.Sets()
+	testDocs := ctx.Split.Test.Sets()
+	weights := tfidfWeights(ctx.Split.Train)
+	res := &Figure2Result{BestPerpl: math.Inf(1)}
+	for _, k := range ctx.Scale.LDATopicGrid {
+		cfg := lda.Config{
+			Topics: k, V: ctx.Corpus.M(),
+			BurnIn: ctx.Scale.LDABurnIn, Iterations: ctx.Scale.LDAIters,
+			InferIterations: ctx.Scale.LDAInfer,
+		}
+		mBin, err := lda.Train(cfg, trainDocs, nil, ctx.RNG.Split())
+		if err != nil {
+			return nil, fmt.Errorf("eval: LDA binary k=%d: %w", k, err)
+		}
+		pBin := mBin.Perplexity(testDocs, ctx.RNG.Split())
+		mTF, err := lda.Train(cfg, trainDocs, weights, ctx.RNG.Split())
+		if err != nil {
+			return nil, fmt.Errorf("eval: LDA tfidf k=%d: %w", k, err)
+		}
+		pTF := mTF.Perplexity(testDocs, ctx.RNG.Split())
+		res.Topics = append(res.Topics, k)
+		res.BinaryPerpl = append(res.BinaryPerpl, pBin)
+		res.TFIDFPerpl = append(res.TFIDFPerpl, pTF)
+		if pBin < res.BestPerpl {
+			res.BestPerpl, res.BestTopics = pBin, k
+		}
+	}
+	return res, nil
+}
+
+// tfidfWeights converts a corpus's TF-IDF matrix into per-token weights for
+// weighted LDA training, rescaled so each document's weights sum to its
+// token count (keeping the effective corpus mass comparable to binary
+// input, as gensim's tfidf-corpus treatment does).
+func tfidfWeights(c *corpus.Corpus) [][]float64 {
+	tfidf := c.TFIDFMatrix()
+	sets := c.Sets()
+	out := make([][]float64, len(sets))
+	for d, doc := range sets {
+		w := make([]float64, len(doc))
+		var sum float64
+		for i, cat := range doc {
+			w[i] = tfidf.At(d, cat)
+			sum += w[i]
+		}
+		if sum > 0 {
+			scale := float64(len(doc)) / sum
+			for i := range w {
+				w[i] *= scale
+			}
+		} else {
+			for i := range w {
+				w[i] = 1
+			}
+		}
+		out[d] = w
+	}
+	return out
+}
+
+// Figure1Result is the LSTM perplexity grid (paper Figure 1): test-set
+// perplexity per (layers, hidden-size/embedding-size) architecture.
+type Figure1Result struct {
+	HiddenSizes []int
+	Layers      []int
+	Perpl       [][]float64 // [layerIdx][hiddenIdx]
+
+	BestLayers, BestHidden int
+	BestPerpl              float64
+}
+
+// RunFigure1 trains the paper's LSTM architecture grid on the time-ordered
+// training sequences and evaluates perplexity on the test split.
+func RunFigure1(ctx *Context) (*Figure1Result, error) {
+	trainSeqs := nonEmpty(ctx.Split.Train.Sequences())
+	if cap := ctx.Scale.LSTMTrainCap; cap > 0 && len(trainSeqs) > cap {
+		trainSeqs = trainSeqs[:cap]
+	}
+	validSeqs := nonEmpty(ctx.Split.Valid.Sequences())
+	testSeqs := nonEmpty(ctx.Split.Test.Sequences())
+	res := &Figure1Result{
+		HiddenSizes: ctx.Scale.LSTMHiddenGrid,
+		Layers:      ctx.Scale.LSTMLayersGrid,
+		BestPerpl:   math.Inf(1),
+	}
+	for _, layers := range ctx.Scale.LSTMLayersGrid {
+		var row []float64
+		for _, hidden := range ctx.Scale.LSTMHiddenGrid {
+			cfg := lstm.Config{
+				V: ctx.Corpus.M(), Layers: layers, Hidden: hidden,
+				Dropout: ctx.Scale.LSTMDropout, Epochs: ctx.Scale.LSTMEpochs,
+			}
+			m, _, err := lstm.Train(cfg, trainSeqs, validSeqs, ctx.RNG.Split())
+			if err != nil {
+				return nil, fmt.Errorf("eval: LSTM %dx%d: %w", layers, hidden, err)
+			}
+			p := m.Perplexity(testSeqs)
+			row = append(row, p)
+			if p < res.BestPerpl {
+				res.BestPerpl, res.BestLayers, res.BestHidden = p, layers, hidden
+			}
+		}
+		res.Perpl = append(res.Perpl, row)
+	}
+	return res, nil
+}
+
+func nonEmpty(seqs [][]int) [][]int {
+	out := seqs[:0:0]
+	for _, s := range seqs {
+		if len(s) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Rank          int
+	Method        string
+	MinPerplexity float64
+}
+
+// Table1Result is the paper's Table 1: minimum perplexity per model family,
+// ranked best first. The paper reports LDA 8.5 < LSTM 11.6 < n-grams 15.5 <
+// unigram bag-of-words 19.5.
+type Table1Result struct {
+	Rows []Table1Row
+
+	Figure1 *Figure1Result
+	Figure2 *Figure2Result
+}
+
+// RunTable1 computes the best perplexity of each family: the LDA topic grid
+// (binary input), the LSTM architecture grid, interpolated bi-/trigram
+// models, and the unigram bag-of-words baseline.
+func RunTable1(ctx *Context) (*Table1Result, error) {
+	fig2, err := RunFigure2(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fig1, err := RunFigure1(ctx)
+	if err != nil {
+		return nil, err
+	}
+	trainSeqs := nonEmpty(ctx.Split.Train.Sequences())
+	testSeqs := nonEmpty(ctx.Split.Test.Sequences())
+	ngramBest := math.Inf(1)
+	for _, order := range []int{2, 3} {
+		m, err := ngram.New(ngram.Config{Order: order, V: ctx.Corpus.M()})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(trainSeqs); err != nil {
+			return nil, err
+		}
+		if p := m.Perplexity(testSeqs); p < ngramBest {
+			ngramBest = p
+		}
+	}
+	uni, err := ngram.New(ngram.Config{Order: 1, V: ctx.Corpus.M()})
+	if err != nil {
+		return nil, err
+	}
+	if err := uni.Fit(trainSeqs); err != nil {
+		return nil, err
+	}
+	uniPerpl := uni.Perplexity(testSeqs)
+
+	rows := []Table1Row{
+		{Method: "LDA", MinPerplexity: fig2.BestPerpl},
+		{Method: "LSTM", MinPerplexity: fig1.BestPerpl},
+		{Method: "N-grams", MinPerplexity: ngramBest},
+		{Method: "Unigram 'bag of words'", MinPerplexity: uniPerpl},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].MinPerplexity < rows[j].MinPerplexity })
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return &Table1Result{Rows: rows, Figure1: fig1, Figure2: fig2}, nil
+}

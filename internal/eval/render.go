@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/recommend"
+)
+
+// Render formats the sequentiality report like the paper's Section 5 quote.
+func (r SeqTestResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequentiality test (binomial, alpha=%.2f)\n", r.Report.Alpha)
+	fmt.Fprintf(&b, "  significant bigrams : %4d / %4d  (%.0f%%; paper: 69%%)\n",
+		r.Report.SignificantBigrams, r.Report.Bigrams, 100*r.Report.BigramFraction)
+	fmt.Fprintf(&b, "  significant trigrams: %4d / %4d  (%.0f%%; paper: 43%%)\n",
+		r.Report.SignificantTrigrams, r.Report.Trigrams, 100*r.Report.TrigramFraction)
+	return b.String()
+}
+
+// Render formats Table 1.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Minimum perplexities achieved by each method\n")
+	b.WriteString("  rank  method                    min. perplexity   (paper)\n")
+	paper := map[string]string{
+		"LDA":                    "8.5",
+		"LSTM":                   "11.6",
+		"N-grams":                "15.5",
+		"Unigram 'bag of words'": "19.5",
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %4d  %-24s  %15.2f   %7s\n", row.Rank, row.Method, row.MinPerplexity, paper[row.Method])
+	}
+	return b.String()
+}
+
+// Render formats the Figure 1 grid.
+func (r *Figure1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: LSTM average perplexity per product (test data)\n")
+	b.WriteString("  hidden/embedding size:")
+	for _, h := range r.HiddenSizes {
+		fmt.Fprintf(&b, " %8d", h)
+	}
+	b.WriteByte('\n')
+	for li, layers := range r.Layers {
+		fmt.Fprintf(&b, "  %d layer(s):           ", layers)
+		for _, p := range r.Perpl[li] {
+			fmt.Fprintf(&b, " %8.2f", p)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  best: %d layer(s), %d nodes -> perplexity %.2f (paper: 1 layer, 200 nodes -> 11.6)\n",
+		r.BestLayers, r.BestHidden, r.BestPerpl)
+	return b.String()
+}
+
+// Render formats the Figure 2 curves.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: LDA average perplexity (test data)\n")
+	b.WriteString("  topics:      ")
+	for _, k := range r.Topics {
+		fmt.Fprintf(&b, " %7d", k)
+	}
+	b.WriteByte('\n')
+	b.WriteString("  input=binary:")
+	for _, p := range r.BinaryPerpl {
+		fmt.Fprintf(&b, " %7.2f", p)
+	}
+	b.WriteByte('\n')
+	b.WriteString("  input=TF-IDF:")
+	for _, p := range r.TFIDFPerpl {
+		fmt.Fprintf(&b, " %7.2f", p)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  best: %d topics (binary) -> perplexity %.2f (paper: 2-4 topics -> 8.5-8.9, binary beats TF-IDF)\n",
+		r.BestTopics, r.BestPerpl)
+	return b.String()
+}
+
+func renderSweepAccuracy(b *strings.Builder, s *recommend.SweepResult) {
+	fmt.Fprintf(b, "  %s\n", s.Model)
+	fmt.Fprintf(b, "    phi:      ")
+	for _, phi := range s.Phi {
+		fmt.Fprintf(b, " %6.2f", phi)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "    recall:   ")
+	for _, ci := range s.Recall {
+		fmt.Fprintf(b, " %6.3f", ci.Mean)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "    precision:")
+	for _, ci := range s.Precision {
+		if math.IsNaN(ci.Mean) {
+			fmt.Fprintf(b, "      -")
+		} else {
+			fmt.Fprintf(b, " %6.3f", ci.Mean)
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "    F1:       ")
+	for _, ci := range s.F1 {
+		if math.IsNaN(ci.Mean) {
+			fmt.Fprintf(b, "      -")
+		} else {
+			fmt.Fprintf(b, " %6.3f", ci.Mean)
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "    recall 95%% CI half-width:")
+	for _, ci := range s.Recall {
+		fmt.Fprintf(b, " %5.3f", (ci.Hi-ci.Lo)/2)
+	}
+	b.WriteByte('\n')
+}
+
+func renderSweepCounts(b *strings.Builder, s *recommend.SweepResult) {
+	fmt.Fprintf(b, "  %s (relevant/window: %.0f)\n", s.Model, s.Relevant.Mean)
+	fmt.Fprintf(b, "    phi:      ")
+	for _, phi := range s.Phi {
+		fmt.Fprintf(b, " %8.2f", phi)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "    retrieved:")
+	for _, ci := range s.Retrieved {
+		fmt.Fprintf(b, " %8.0f", ci.Mean)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "    correct:  ")
+	for _, ci := range s.CorrectlyRetrieved {
+		fmt.Fprintf(b, " %8.0f", ci.Mean)
+	}
+	b.WriteByte('\n')
+}
+
+// RenderFigure3 formats the recall/F1 curves (paper Figure 3).
+func (r *Figure34Result) RenderFigure3() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Recall and F1 vs probability threshold phi (means over sliding windows, 95% CI)\n")
+	for _, s := range r.Sweeps {
+		renderSweepAccuracy(&b, s)
+	}
+	return b.String()
+}
+
+// RenderFigure4 formats the retrieval-count curves (paper Figure 4).
+func (r *Figure34Result) RenderFigure4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Retrieved / correctly retrieved / relevant products vs phi (per-window means)\n")
+	for _, s := range r.Sweeps {
+		renderSweepCounts(&b, s)
+	}
+	return b.String()
+}
+
+// Render formats the BPMF score boxplot (paper Figure 5).
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Boxplot of BPMF recommendation score values\n")
+	fmt.Fprintf(&b, "  n=%d scores\n", r.Scores)
+	fmt.Fprintf(&b, "  min %.3f | whisker-lo %.3f | Q1 %.3f | median %.3f | Q3 %.3f | whisker-hi %.3f | max %.3f\n",
+		r.Box.Min, r.Box.WhiskerLo, r.Box.Q1, r.Box.Median, r.Box.Q3, r.Box.WhiskerHi, r.Box.Max)
+	fmt.Fprintf(&b, "  fraction of scores above 0.9: %.1f%% (paper: scores squashed into [0.90, 1.00])\n", 100*r.FracAbove9)
+	return b.String()
+}
+
+// Render formats the BPMF accuracy sweep (paper Figure 6).
+func (r *Figure6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: BPMF accuracy vs recommendation-score threshold\n")
+	renderSweepAccuracy(&b, r.Sweep)
+	renderSweepCounts(&b, r.Sweep)
+	return b.String()
+}
+
+// Render formats the silhouette curves (paper Figure 7).
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Silhouette curves\n")
+	b.WriteString("  clusters:    ")
+	for _, k := range r.ClusterCounts {
+		fmt.Fprintf(&b, " %6d", k)
+	}
+	b.WriteByte('\n')
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "  %-12s:", c.Feature)
+		for _, s := range c.Scores {
+			if math.IsNaN(s) {
+				fmt.Fprintf(&b, "      -")
+			} else {
+				fmt.Fprintf(&b, " %6.3f", s)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  (paper: lda_2/3/4 binary highest, raw binary lowest)\n")
+	return b.String()
+}
+
+// Render formats the t-SNE projections (paper Figures 8-9).
+func (r *Figure89Result) Render() string {
+	var b strings.Builder
+	render := func(title string, pts []ProductPoint, cohesion float64) {
+		fmt.Fprintf(&b, "%s (same-group/cross-group distance ratio %.2f; <1 means groups co-locate)\n", title, cohesion)
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %-26s %-8s (%7.2f, %7.2f)\n", p.Name, p.Group, p.X, p.Y)
+		}
+	}
+	render("Figure 8: LDA3 product embeddings (t-SNE)", r.LDA3, r.Cohesion3)
+	render("Figure 9: LDA4 product embeddings (t-SNE)", r.LDA4, r.Cohesion4)
+	return b.String()
+}
+
+// Render formats the co-clustering observation (Section 3.1).
+func (r *CoclusterResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Co-clustering note (Section 3.1): spectral co-clustering, k=%d\n", r.K)
+	fmt.Fprintf(&b, "  row cluster sizes: %v\n", r.RowClusterSizes)
+	fmt.Fprintf(&b, "  share of top-10 popular categories in one column co-cluster: %.0f%%\n", 100*r.PopularColsShare)
+	b.WriteString("  (paper: only co-cluster found contained overall popular products)\n")
+	return b.String()
+}

@@ -1,0 +1,143 @@
+// Package eval contains one driver per table and figure of the paper's
+// evaluation section. Each RunX function generates (or accepts) a synthetic
+// corpus, trains the models involved, and returns a structured result that
+// renders to the same rows/series the paper reports. The drivers are shared
+// by cmd/ibeval and the repository's benchmark suite.
+package eval
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/datagen"
+	"repro/internal/recommend"
+	"repro/internal/rng"
+)
+
+// Scale sizes an experiment run. Quick() keeps every experiment in seconds
+// for tests and benches; Standard() runs the full grids at a corpus size a
+// single core handles in minutes. The paper's own deployment (860k
+// companies) is reachable by raising Companies — all code paths stream or
+// subsample where quadratic work would otherwise appear.
+type Scale struct {
+	Companies int
+	Seed      int64
+
+	// LDA Gibbs schedule.
+	LDABurnIn, LDAIters, LDAInfer int
+	// Topic grid for Figure 2 (and the LDA row of Table 1).
+	LDATopicGrid []int
+
+	// LSTM training.
+	LSTMEpochs     int
+	LSTMHiddenGrid []int // Figure 1 x-axis (paper: 10, 100, 200, 300)
+	LSTMLayersGrid []int // Figure 1 series (paper: 1, 2, 3)
+	LSTMDropout    float64
+	// LSTMTrainCap bounds the number of training sequences fed to the LSTM
+	// grid (0 = no cap). Pure-Go BPTT on one core gates throughput; the cap
+	// keeps the full architecture grid tractable while every architecture
+	// still sees identical data.
+	LSTMTrainCap int
+
+	// BPMF Gibbs schedule.
+	BPMFRank, BPMFBurn, BPMFSamples int
+	BPMFAlpha                       float64
+
+	// Recommendation harness.
+	Windows recommend.WindowSpec
+	PhiMax  float64
+
+	// Clustering (Figure 7).
+	ClusterCounts    []int
+	SilhouetteSample int
+
+	// Sequence test significance level.
+	Alpha float64
+}
+
+// Quick returns a scale suited to unit tests and benches: every experiment
+// finishes in seconds on one core while still exhibiting the paper's
+// qualitative shapes.
+func Quick() Scale {
+	return Scale{
+		Companies:        400,
+		Seed:             1,
+		LDABurnIn:        15,
+		LDAIters:         40,
+		LDAInfer:         12,
+		LDATopicGrid:     []int{2, 3, 4, 8, 16},
+		LSTMEpochs:       3,
+		LSTMHiddenGrid:   []int{10, 40},
+		LSTMLayersGrid:   []int{1, 2},
+		LSTMDropout:      0.5,
+		BPMFRank:         5,
+		BPMFBurn:         10,
+		BPMFSamples:      15,
+		BPMFAlpha:        25,
+		Windows:          recommend.WindowSpec{Start: corpus.MonthOf(2013, 1), Length: 12, Slide: 6, Count: 5},
+		PhiMax:           0.4,
+		ClusterCounts:    []int{5, 20, 50},
+		SilhouetteSample: 300,
+		Alpha:            0.05,
+	}
+}
+
+// Standard returns the scale used for the recorded EXPERIMENTS.md numbers:
+// the paper's full parameter grids on a corpus sized for a single core.
+func Standard() Scale {
+	return Scale{
+		Companies:        2000,
+		Seed:             1,
+		LDABurnIn:        40,
+		LDAIters:         100,
+		LDAInfer:         20,
+		LDATopicGrid:     []int{2, 3, 4, 6, 8, 10, 12, 14, 16},
+		LSTMEpochs:       14,
+		LSTMHiddenGrid:   []int{10, 100, 200, 300},
+		LSTMLayersGrid:   []int{1, 2, 3},
+		LSTMDropout:      0.5,
+		LSTMTrainCap:     1000,
+		BPMFRank:         8,
+		BPMFBurn:         20,
+		BPMFSamples:      30,
+		BPMFAlpha:        25,
+		Windows:          recommend.PaperWindows(),
+		PhiMax:           0.4,
+		ClusterCounts:    []int{5, 10, 25, 50, 100, 200, 300, 400},
+		SilhouetteSample: 800,
+		Alpha:            0.05,
+	}
+}
+
+// Context bundles the shared inputs of every experiment: the corpus and its
+// 70/10/20 split, exactly as the paper prepares its data.
+type Context struct {
+	Scale  Scale
+	Corpus *corpus.Corpus
+	Split  corpus.Split
+	RNG    *rng.RNG
+}
+
+// NewContext generates the synthetic corpus at the given scale and splits
+// it 70/10/20.
+func NewContext(s Scale) (*Context, error) {
+	gen, err := datagen.NewGenerator(datagen.DefaultConfig(s.Companies, s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	c := gen.Generate()
+	g := rng.New(s.Seed + 1000)
+	split, err := corpus.PaperSplit(c, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Scale: s, Corpus: c, Split: split, RNG: g}, nil
+}
+
+// NewContextFrom wraps an existing corpus (e.g. loaded from JSONL).
+func NewContextFrom(s Scale, c *corpus.Corpus) (*Context, error) {
+	g := rng.New(s.Seed + 1000)
+	split, err := corpus.PaperSplit(c, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Scale: s, Corpus: c, Split: split, RNG: g}, nil
+}

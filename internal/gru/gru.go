@@ -1,0 +1,295 @@
+// Package gru implements a Gated Recurrent Unit language model (Cho et al.
+// 2014) with the same interface as internal/lstm. The paper's Section 3.4
+// discusses GRUs as the simpler alternative to LSTM, citing the empirical
+// findings of Chung et al. 2014 and Greff et al. 2016 that GRUs can win on
+// some datasets but do not beat LSTM in general; this package exists to
+// reproduce that comparison on install-base data (the GRU-vs-LSTM ablation
+// in internal/eval).
+package gru
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Config parameterizes model construction and training. Fields mirror
+// lstm.Config.
+type Config struct {
+	V      int
+	Layers int // 1..3
+	Hidden int
+
+	Dropout   float64
+	Epochs    int
+	LearnRate float64 // Adam; 0 selects 3e-3
+	ClipNorm  float64 // 0 selects 5
+	InitScale float64 // 0 selects 0.08
+}
+
+func (c *Config) fillDefaults() {
+	if c.LearnRate == 0 {
+		c.LearnRate = 3e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	if c.InitScale == 0 {
+		c.InitScale = 0.08
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 14
+	}
+}
+
+func (c *Config) validate() error {
+	if c.V < 1 {
+		return fmt.Errorf("gru: V must be positive, got %d", c.V)
+	}
+	if c.Layers < 1 || c.Layers > 3 {
+		return fmt.Errorf("gru: Layers must be 1..3, got %d", c.Layers)
+	}
+	if c.Hidden < 1 {
+		return fmt.Errorf("gru: Hidden must be positive, got %d", c.Hidden)
+	}
+	if c.Dropout < 0 || c.Dropout >= 1 {
+		return fmt.Errorf("gru: Dropout must be in [0,1), got %v", c.Dropout)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("gru: Epochs must be positive, got %d", c.Epochs)
+	}
+	return nil
+}
+
+// cell holds one GRU layer's parameters. The 3H-stacked gate order is
+// (update z, reset r, candidate h̃). Wx maps the layer input, Wh the
+// recurrent state (for the candidate row block, Wh multiplies r⊙h).
+type cell struct {
+	Wx *mat.Matrix // 3H x H
+	Wh *mat.Matrix // 3H x H
+	B  []float64   // 3H
+}
+
+// Model is a trained GRU language model.
+type Model struct {
+	V, Layers, Hidden int
+
+	Emb   *mat.Matrix // (V+1) x H, row V = BOS
+	Cells []cell
+	Wo    *mat.Matrix // V x H
+	Bo    []float64
+}
+
+func (m *Model) bosToken() int { return m.V }
+
+func newModel(cfg Config, g *rng.RNG) *Model {
+	h := cfg.Hidden
+	m := &Model{V: cfg.V, Layers: cfg.Layers, Hidden: h}
+	uniform := func(dst []float64) {
+		for i := range dst {
+			dst[i] = (2*g.Float64() - 1) * cfg.InitScale
+		}
+	}
+	m.Emb = mat.New(cfg.V+1, h)
+	uniform(m.Emb.Data)
+	for l := 0; l < cfg.Layers; l++ {
+		c := cell{Wx: mat.New(3*h, h), Wh: mat.New(3*h, h), B: make([]float64, 3*h)}
+		uniform(c.Wx.Data)
+		uniform(c.Wh.Data)
+		m.Cells = append(m.Cells, c)
+	}
+	m.Wo = mat.New(cfg.V, h)
+	uniform(m.Wo.Data)
+	m.Bo = make([]float64, cfg.V)
+	return m
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// stepCache records one timestep of one layer for BPTT.
+type stepCache struct {
+	x     []float64 // layer input (after dropout)
+	hPrev []float64
+	z, r  []float64
+	rh    []float64 // r ⊙ hPrev
+	cand  []float64 // h̃
+	h     []float64
+}
+
+// step advances one GRU layer by one timestep.
+func (m *Model) step(l int, x, hPrev []float64, cache *stepCache) []float64 {
+	hd := m.Hidden
+	c := &m.Cells[l]
+	// input contribution for all three gates
+	pre := make([]float64, 3*hd)
+	mat.MulVecTo(pre, c.Wx, x)
+	// recurrent contribution: z and r rows use hPrev
+	tmp := make([]float64, hd)
+	for block := 0; block < 2; block++ {
+		rows := mat.FromSlice(hd, hd, c.Wh.Data[block*hd*hd:(block+1)*hd*hd])
+		mat.MulVecTo(tmp, rows, hPrev)
+		for j := 0; j < hd; j++ {
+			pre[block*hd+j] += tmp[j]
+		}
+	}
+	z := make([]float64, hd)
+	r := make([]float64, hd)
+	for j := 0; j < hd; j++ {
+		z[j] = sigmoid(pre[j] + c.B[j])
+		r[j] = sigmoid(pre[hd+j] + c.B[hd+j])
+	}
+	// candidate uses r ⊙ hPrev
+	rh := make([]float64, hd)
+	for j := 0; j < hd; j++ {
+		rh[j] = r[j] * hPrev[j]
+	}
+	candRows := mat.FromSlice(hd, hd, c.Wh.Data[2*hd*hd:3*hd*hd])
+	mat.MulVecTo(tmp, candRows, rh)
+	cand := make([]float64, hd)
+	h := make([]float64, hd)
+	for j := 0; j < hd; j++ {
+		cand[j] = math.Tanh(pre[2*hd+j] + tmp[j] + c.B[2*hd+j])
+		h[j] = (1-z[j])*hPrev[j] + z[j]*cand[j]
+	}
+	if cache != nil {
+		cache.x = append([]float64(nil), x...)
+		cache.hPrev = append([]float64(nil), hPrev...)
+		cache.z, cache.r, cache.rh, cache.cand, cache.h = z, r, rh, cand, h
+	}
+	return h
+}
+
+// State carries per-layer hidden activations.
+type State struct{ H [][]float64 }
+
+// NewState returns the zero state.
+func (m *Model) NewState() *State {
+	s := &State{H: make([][]float64, m.Layers)}
+	for l := range s.H {
+		s.H[l] = make([]float64, m.Hidden)
+	}
+	return s
+}
+
+// Forward consumes one token and returns the top hidden state.
+func (m *Model) Forward(token int, s *State) []float64 {
+	x := m.Emb.Row(token)
+	for l := 0; l < m.Layers; l++ {
+		s.H[l] = m.step(l, x, s.H[l], nil)
+		x = s.H[l]
+	}
+	return x
+}
+
+// Logits projects a hidden state to vocabulary scores.
+func (m *Model) Logits(h []float64) []float64 {
+	out := make([]float64, m.V)
+	mat.MulVecTo(out, m.Wo, h)
+	for j := range out {
+		out[j] += m.Bo[j]
+	}
+	return out
+}
+
+// NextDist returns the next-product distribution after a history.
+func (m *Model) NextDist(history []int) []float64 {
+	s := m.NewState()
+	h := m.Forward(m.bosToken(), s)
+	for _, tok := range history {
+		if tok < 0 || tok >= m.V {
+			panic(fmt.Sprintf("gru: token %d outside vocabulary [0,%d)", tok, m.V))
+		}
+		h = m.Forward(tok, s)
+	}
+	logits := m.Logits(h)
+	mat.Softmax(logits, logits)
+	return logits
+}
+
+// Perplexity computes per-token test perplexity (teacher forcing).
+func (m *Model) Perplexity(seqs [][]int) float64 {
+	var logSum float64
+	var n int
+	for _, seq := range seqs {
+		if len(seq) == 0 {
+			continue
+		}
+		s := m.NewState()
+		h := m.Forward(m.bosToken(), s)
+		for _, tok := range seq {
+			logits := m.Logits(h)
+			logSum += logits[tok] - mat.LogSumExp(logits)
+			n++
+			h = m.Forward(tok, s)
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logSum / float64(n))
+}
+
+// ParameterCount returns the number of trainable parameters (GRU cells have
+// 3/4 of the LSTM's recurrent parameters, the simplification the paper's
+// Section 3.4 discusses).
+func (m *Model) ParameterCount() int {
+	n := len(m.Emb.Data) + len(m.Wo.Data) + len(m.Bo)
+	for _, c := range m.Cells {
+		n += len(c.Wx.Data) + len(c.Wh.Data) + len(c.B)
+	}
+	return n
+}
+
+type gobCell struct {
+	Wx, Wh, B []float64
+}
+
+type gobModel struct {
+	V, Layers, Hidden int
+	Emb               []float64
+	Cells             []gobCell
+	Wo, Bo            []float64
+}
+
+// Save serializes the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	g := gobModel{V: m.V, Layers: m.Layers, Hidden: m.Hidden, Emb: m.Emb.Data, Wo: m.Wo.Data, Bo: m.Bo}
+	for _, c := range m.Cells {
+		g.Cells = append(g.Cells, gobCell{Wx: c.Wx.Data, Wh: c.Wh.Data, B: c.B})
+	}
+	return gob.NewEncoder(w).Encode(g)
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var g gobModel
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("gru: decoding model: %w", err)
+	}
+	h := g.Hidden
+	if g.V < 1 || h < 1 || g.Layers != len(g.Cells) ||
+		len(g.Emb) != (g.V+1)*h || len(g.Wo) != g.V*h || len(g.Bo) != g.V {
+		return nil, fmt.Errorf("gru: corrupt model")
+	}
+	m := &Model{
+		V: g.V, Layers: g.Layers, Hidden: h,
+		Emb: mat.FromSlice(g.V+1, h, g.Emb),
+		Wo:  mat.FromSlice(g.V, h, g.Wo),
+		Bo:  g.Bo,
+	}
+	for _, c := range g.Cells {
+		if len(c.Wx) != 3*h*h || len(c.Wh) != 3*h*h || len(c.B) != 3*h {
+			return nil, fmt.Errorf("gru: corrupt cell")
+		}
+		m.Cells = append(m.Cells, cell{
+			Wx: mat.FromSlice(3*h, h, c.Wx),
+			Wh: mat.FromSlice(3*h, h, c.Wh),
+			B:  c.B,
+		})
+	}
+	return m, nil
+}

@@ -1,0 +1,201 @@
+package gru
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{V: 0, Layers: 1, Hidden: 4},
+		{V: 5, Layers: 0, Hidden: 4},
+		{V: 5, Layers: 4, Hidden: 4},
+		{V: 5, Layers: 1, Hidden: 0},
+		{V: 5, Layers: 1, Hidden: 4, Dropout: 1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Train(cfg, [][]int{{0, 1}}, nil, rng.New(1)); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, _, err := Train(Config{V: 3, Layers: 1, Hidden: 4}, [][]int{{9}}, nil, rng.New(1)); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	if _, _, err := Train(Config{V: 3, Layers: 1, Hidden: 4}, [][]int{{}}, nil, rng.New(1)); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+// TestGradientCheck verifies the hand-written GRU backward pass against
+// centered finite differences.
+func TestGradientCheck(t *testing.T) {
+	cfg := Config{V: 4, Layers: 2, Hidden: 3, Epochs: 1, InitScale: 0.3}
+	cfg.fillDefaults()
+	g := rng.New(7)
+	m := newModel(cfg, g)
+	seq := []int{1, 3, 0, 2, 2}
+
+	gr := newGrads(m)
+	gr.zero()
+	m.bptt(seq, 0, gr, g)
+
+	lossOf := func() float64 {
+		gr2 := newGrads(m)
+		return m.bptt(seq, 0, gr2, g)
+	}
+	const eps = 1e-6
+	check := func(name string, params, grads []float64) {
+		for _, idx := range []int{0, len(params) / 2, len(params) - 1} {
+			orig := params[idx]
+			params[idx] = orig + eps
+			lp := lossOf()
+			params[idx] = orig - eps
+			lm := lossOf()
+			params[idx] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := grads[idx]
+			denom := math.Max(1e-4, math.Abs(numeric)+math.Abs(analytic))
+			if math.Abs(numeric-analytic)/denom > 2e-3 {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, idx, analytic, numeric)
+			}
+		}
+	}
+	check("emb", m.Emb.Data, gr.emb)
+	check("wo", m.Wo.Data, gr.wo)
+	check("bo", m.Bo, gr.bo)
+	for l := 0; l < cfg.Layers; l++ {
+		check("wx", m.Cells[l].Wx.Data, gr.cells[l].wx)
+		check("wh", m.Cells[l].Wh.Data, gr.cells[l].wh)
+		check("b", m.Cells[l].B, gr.cells[l].b)
+	}
+}
+
+func TestLearnsDeterministicSequence(t *testing.T) {
+	seqs := make([][]int, 60)
+	for i := range seqs {
+		seqs[i] = []int{0, 1, 2, 3}
+	}
+	m, stats, err := Train(Config{V: 4, Layers: 1, Hidden: 12, Epochs: 10, LearnRate: 1e-2}, seqs, nil, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Perplexity(seqs); p > 1.4 {
+		t.Fatalf("perplexity = %v on deterministic data", p)
+	}
+	if mat.ArgMax(m.NextDist([]int{0, 1})) != 2 {
+		t.Fatal("alternation not learned")
+	}
+	if stats.TrainLoss[len(stats.TrainLoss)-1] >= stats.TrainLoss[0] {
+		t.Fatal("loss did not decrease")
+	}
+}
+
+func TestNextDistIsDistribution(t *testing.T) {
+	seqs := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}}
+	m, _, err := Train(Config{V: 5, Layers: 2, Hidden: 6, Epochs: 2}, seqs, nil, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hist := range [][]int{nil, {0}, {0, 1, 2}} {
+		d := m.NextDist(hist)
+		var s float64
+		for _, p := range d {
+			if p < 0 || p > 1 {
+				t.Fatalf("bad probability %v", p)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("NextDist(%v) sums to %v", hist, s)
+		}
+	}
+}
+
+func TestDropoutTrainingStable(t *testing.T) {
+	seqs := make([][]int, 30)
+	for i := range seqs {
+		seqs[i] = []int{0, 1, 2, 3}
+	}
+	m, _, err := Train(Config{V: 4, Layers: 2, Hidden: 8, Epochs: 4, Dropout: 0.4, LearnRate: 1e-2}, seqs, nil, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Perplexity(seqs); p > 3 || math.IsNaN(p) {
+		t.Fatalf("dropout training diverged: %v", p)
+	}
+}
+
+func TestParameterCountBelowLSTM(t *testing.T) {
+	cfg := Config{V: 38, Layers: 1, Hidden: 100, Epochs: 1}
+	cfg.fillDefaults()
+	m := newModel(cfg, rng.New(1))
+	// GRU recurrent block: 3/4 of the LSTM's 8H² ≈ 60000 + embeddings.
+	lstmCellParams := 8*100*100 + 4*100
+	gruCellParams := 6*100*100 + 3*100
+	if got := m.ParameterCount(); got >= lstmCellParams+39*100+38*100+38 {
+		t.Fatalf("GRU parameter count %d not below LSTM equivalent", got)
+	}
+	wantCell := gruCellParams
+	got := m.ParameterCount() - len(m.Emb.Data) - len(m.Wo.Data) - len(m.Bo)
+	if got != wantCell {
+		t.Fatalf("cell parameters = %d, want %d", got, wantCell)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	seqs := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}}
+	m1, _, err := Train(Config{V: 3, Layers: 1, Hidden: 4, Epochs: 2}, seqs, nil, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Train(Config{V: 3, Layers: 1, Hidden: 4, Epochs: 2}, seqs, nil, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(m1.Emb, m2.Emb, 0) {
+		t.Fatal("training not deterministic")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	seqs := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}
+	m, _, err := Train(Config{V: 4, Layers: 2, Hidden: 6, Epochs: 2}, seqs, nil, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hist := range [][]int{nil, {0}, {1, 2, 3}} {
+		a, b := m.NextDist(hist), got.NextDist(hist)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-15 {
+				t.Fatal("loaded model differs")
+			}
+		}
+	}
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPerplexityEdgeCases(t *testing.T) {
+	cfg := Config{V: 3, Layers: 1, Hidden: 4, InitScale: 0.01, Epochs: 1}
+	cfg.fillDefaults()
+	m := newModel(cfg, rng.New(17))
+	if !math.IsInf(m.Perplexity(nil), 1) {
+		t.Fatal("no-token perplexity should be +Inf")
+	}
+	if p := m.Perplexity([][]int{{0, 1, 2}}); math.Abs(p-3) > 0.3 {
+		t.Fatalf("untrained perplexity = %v, want ~3", p)
+	}
+}

@@ -1,0 +1,346 @@
+package gru
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// TrainStats records the learning curve.
+type TrainStats struct {
+	TrainLoss  []float64
+	ValidPerpl []float64
+}
+
+type adam struct{ m, v []float64 }
+
+func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
+
+func (a *adam) update(param, grad []float64, lr float64, step int) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	for i, g := range grad {
+		if g == 0 {
+			continue
+		}
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		param[i] -= lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+	}
+}
+
+type grads struct {
+	emb    []float64
+	cells  []struct{ wx, wh, b []float64 }
+	wo, bo []float64
+}
+
+func newGrads(m *Model) *grads {
+	g := &grads{
+		emb: make([]float64, len(m.Emb.Data)),
+		wo:  make([]float64, len(m.Wo.Data)),
+		bo:  make([]float64, len(m.Bo)),
+	}
+	for range m.Cells {
+		g.cells = append(g.cells, struct{ wx, wh, b []float64 }{})
+	}
+	for l, c := range m.Cells {
+		g.cells[l].wx = make([]float64, len(c.Wx.Data))
+		g.cells[l].wh = make([]float64, len(c.Wh.Data))
+		g.cells[l].b = make([]float64, len(c.B))
+	}
+	return g
+}
+
+func (g *grads) each(fn func(xs []float64)) {
+	fn(g.emb)
+	fn(g.wo)
+	fn(g.bo)
+	for l := range g.cells {
+		fn(g.cells[l].wx)
+		fn(g.cells[l].wh)
+		fn(g.cells[l].b)
+	}
+}
+
+func (g *grads) zero() {
+	g.each(func(xs []float64) {
+		for i := range xs {
+			xs[i] = 0
+		}
+	})
+}
+
+func (g *grads) globalNorm() float64 {
+	var s float64
+	g.each(func(xs []float64) {
+		for _, v := range xs {
+			s += v * v
+		}
+	})
+	return math.Sqrt(s)
+}
+
+func (g *grads) scale(f float64) {
+	g.each(func(xs []float64) {
+		for i := range xs {
+			xs[i] *= f
+		}
+	})
+}
+
+// Train fits a GRU language model with Adam, per-sequence updates and
+// global-norm clipping (the same regime as internal/lstm with Adam).
+func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	var nTokens int
+	for si, seq := range train {
+		for _, tok := range seq {
+			if tok < 0 || tok >= cfg.V {
+				return nil, TrainStats{}, fmt.Errorf("gru: train sequence %d token %d outside [0,%d)", si, tok, cfg.V)
+			}
+		}
+		nTokens += len(seq)
+	}
+	if nTokens == 0 {
+		return nil, TrainStats{}, fmt.Errorf("gru: training corpus has no tokens")
+	}
+
+	model := newModel(cfg, g)
+	gr := newGrads(model)
+	opt := map[string]*adam{
+		"emb": newAdam(len(gr.emb)),
+		"wo":  newAdam(len(gr.wo)),
+		"bo":  newAdam(len(gr.bo)),
+	}
+	for l := range gr.cells {
+		opt[fmt.Sprintf("wx%d", l)] = newAdam(len(gr.cells[l].wx))
+		opt[fmt.Sprintf("wh%d", l)] = newAdam(len(gr.cells[l].wh))
+		opt[fmt.Sprintf("b%d", l)] = newAdam(len(gr.cells[l].b))
+	}
+
+	stats := TrainStats{}
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var lossSum float64
+		var lossTokens int
+		for _, si := range order {
+			seq := train[si]
+			if len(seq) == 0 {
+				continue
+			}
+			gr.zero()
+			loss := model.bptt(seq, cfg.Dropout, gr, g)
+			lossSum += loss
+			lossTokens += len(seq)
+			if norm := gr.globalNorm(); norm > cfg.ClipNorm {
+				gr.scale(cfg.ClipNorm / norm)
+			}
+			step++
+			opt["emb"].update(model.Emb.Data, gr.emb, cfg.LearnRate, step)
+			opt["wo"].update(model.Wo.Data, gr.wo, cfg.LearnRate, step)
+			opt["bo"].update(model.Bo, gr.bo, cfg.LearnRate, step)
+			for l := range model.Cells {
+				opt[fmt.Sprintf("wx%d", l)].update(model.Cells[l].Wx.Data, gr.cells[l].wx, cfg.LearnRate, step)
+				opt[fmt.Sprintf("wh%d", l)].update(model.Cells[l].Wh.Data, gr.cells[l].wh, cfg.LearnRate, step)
+				opt[fmt.Sprintf("b%d", l)].update(model.Cells[l].B, gr.cells[l].b, cfg.LearnRate, step)
+			}
+		}
+		if lossTokens > 0 {
+			stats.TrainLoss = append(stats.TrainLoss, lossSum/float64(lossTokens))
+		}
+		if len(valid) > 0 {
+			stats.ValidPerpl = append(stats.ValidPerpl, model.Perplexity(valid))
+		}
+	}
+	return model, stats, nil
+}
+
+// bptt runs forward+backward over one sequence, accumulating gradients.
+func (m *Model) bptt(seq []int, p float64, gr *grads, g *rng.RNG) float64 {
+	hd := m.Hidden
+	T := len(seq)
+	L := m.Layers
+	keep := 1 - p
+
+	inputs := make([]int, T)
+	inputs[0] = m.bosToken()
+	copy(inputs[1:], seq[:T-1])
+
+	caches := make([][]stepCache, L)
+	inMasks := make([][][]float64, L)
+	for l := 0; l < L; l++ {
+		caches[l] = make([]stepCache, T)
+		inMasks[l] = make([][]float64, T)
+	}
+	topMasks := make([][]float64, T)
+
+	sampleMask := func() []float64 {
+		if p == 0 {
+			return nil
+		}
+		mask := make([]float64, hd)
+		for j := range mask {
+			if g.Float64() < keep {
+				mask[j] = 1 / keep
+			}
+		}
+		return mask
+	}
+	applyMask := func(x, mask []float64) []float64 {
+		if mask == nil {
+			return x
+		}
+		out := make([]float64, len(x))
+		for j := range x {
+			out[j] = x[j] * mask[j]
+		}
+		return out
+	}
+
+	h := make([][]float64, L)
+	for l := range h {
+		h[l] = make([]float64, hd)
+	}
+	var loss float64
+	dlogitsAll := make([][]float64, T)
+	topH := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		x := m.Emb.Row(inputs[t])
+		for l := 0; l < L; l++ {
+			inMasks[l][t] = sampleMask()
+			xin := applyMask(x, inMasks[l][t])
+			h[l] = m.step(l, xin, h[l], &caches[l][t])
+			x = h[l]
+		}
+		topMasks[t] = sampleMask()
+		ht := applyMask(x, topMasks[t])
+		topH[t] = ht
+		logits := m.Logits(ht)
+		lse := mat.LogSumExp(logits)
+		loss += lse - logits[seq[t]]
+		dl := make([]float64, m.V)
+		for j := range dl {
+			dl[j] = math.Exp(logits[j] - lse)
+		}
+		dl[seq[t]] -= 1
+		dlogitsAll[t] = dl
+	}
+
+	dhNext := make([][]float64, L)
+	for l := range dhNext {
+		dhNext[l] = make([]float64, hd)
+	}
+	daz := make([]float64, hd)
+	dar := make([]float64, hd)
+	dac := make([]float64, hd)
+	tmp := make([]float64, hd)
+	for t := T - 1; t >= 0; t-- {
+		dl := dlogitsAll[t]
+		for j := range dl {
+			g0 := dl[j]
+			wrow := gr.wo[j*hd : (j+1)*hd]
+			for k := 0; k < hd; k++ {
+				wrow[k] += g0 * topH[t][k]
+			}
+			gr.bo[j] += g0
+		}
+		dhTop := make([]float64, hd)
+		mat.MulVecTransTo(dhTop, m.Wo, dl)
+		if topMasks[t] != nil {
+			for k := 0; k < hd; k++ {
+				dhTop[k] *= topMasks[t][k]
+			}
+		}
+		dFromAbove := dhTop
+		for l := L - 1; l >= 0; l-- {
+			cc := &caches[l][t]
+			c := &m.Cells[l]
+			dh := make([]float64, hd)
+			for k := 0; k < hd; k++ {
+				dh[k] = dFromAbove[k] + dhNext[l][k]
+			}
+			dhPrev := make([]float64, hd)
+			for k := 0; k < hd; k++ {
+				dcand := dh[k] * cc.z[k]
+				dz := dh[k] * (cc.cand[k] - cc.hPrev[k])
+				dhPrev[k] = dh[k] * (1 - cc.z[k])
+				dac[k] = dcand * (1 - cc.cand[k]*cc.cand[k])
+				daz[k] = dz * cc.z[k] * (1 - cc.z[k])
+			}
+			// d(rh) = Wh_candᵀ dac
+			candRows := mat.FromSlice(hd, hd, c.Wh.Data[2*hd*hd:3*hd*hd])
+			mat.MulVecTransTo(tmp, candRows, dac)
+			for k := 0; k < hd; k++ {
+				dr := tmp[k] * cc.hPrev[k]
+				dhPrev[k] += tmp[k] * cc.r[k]
+				dar[k] = dr * cc.r[k] * (1 - cc.r[k])
+			}
+			// parameter gradients
+			cw := &gr.cells[l]
+			for block, da := range [][]float64{daz, dar, dac} {
+				hvec := cc.hPrev
+				if block == 2 {
+					hvec = cc.rh
+				}
+				for j := 0; j < hd; j++ {
+					gj := da[j]
+					if gj == 0 {
+						continue
+					}
+					row := block*hd + j
+					wxRow := cw.wx[row*hd : (row+1)*hd]
+					whRow := cw.wh[row*hd : (row+1)*hd]
+					for k := 0; k < hd; k++ {
+						wxRow[k] += gj * cc.x[k]
+						whRow[k] += gj * hvec[k]
+					}
+					cw.b[row] += gj
+				}
+			}
+			// dx and remaining dhPrev contributions
+			dx := make([]float64, hd)
+			for block, da := range [][]float64{daz, dar, dac} {
+				rows := mat.FromSlice(hd, hd, c.Wx.Data[block*hd*hd:(block+1)*hd*hd])
+				mat.MulVecTransTo(tmp, rows, da)
+				for k := 0; k < hd; k++ {
+					dx[k] += tmp[k]
+				}
+			}
+			for block, da := range [][]float64{daz, dar} {
+				rows := mat.FromSlice(hd, hd, c.Wh.Data[block*hd*hd:(block+1)*hd*hd])
+				mat.MulVecTransTo(tmp, rows, da)
+				for k := 0; k < hd; k++ {
+					dhPrev[k] += tmp[k]
+				}
+			}
+			dhNext[l] = dhPrev
+			if inMasks[l][t] != nil {
+				for k := 0; k < hd; k++ {
+					dx[k] *= inMasks[l][t][k]
+				}
+			}
+			dFromAbove = dx
+		}
+		row := gr.emb[inputs[t]*hd : (inputs[t]+1)*hd]
+		for k := 0; k < hd; k++ {
+			row[k] += dFromAbove[k]
+		}
+	}
+	return loss
+}

@@ -1,0 +1,384 @@
+// Package lda implements Latent Dirichlet Allocation estimated by collapsed
+// Gibbs sampling — the paper's best-performing model for company-product
+// data. Companies are documents, product categories are words. The package
+// supports the paper's two input variants (binary bag-of-words and TF-IDF
+// token weights), held-out perplexity by fold-in inference, per-company
+// topic mixtures (the learned company features B) and per-product topic
+// embeddings (used for the paper's t-SNE Figures 8-9).
+package lda
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Config parameterizes LDA training.
+type Config struct {
+	Topics int // number of latent topics K (the paper sweeps 2..16)
+	V      int // vocabulary size M
+
+	// Alpha is the symmetric document-topic prior; 0 selects 1/K, the
+	// default of the gensim implementation the paper used. Beta is the
+	// symmetric topic-word prior; 0 selects 0.01.
+	Alpha, Beta float64
+
+	// Gibbs schedule: BurnIn sweeps discarded, then Iterations sweeps of
+	// which every SampleLag-th contributes to the posterior mean of phi.
+	// Zero values select 50 / 150 / 5.
+	BurnIn, Iterations, SampleLag int
+
+	// InferIterations controls fold-in inference on held-out documents
+	// (burn-in half, averaging half). Zero selects 30.
+	InferIterations int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 1 / float64(c.Topics)
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.BurnIn == 0 {
+		c.BurnIn = 50
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 150
+	}
+	if c.SampleLag == 0 {
+		c.SampleLag = 5
+	}
+	if c.InferIterations == 0 {
+		c.InferIterations = 30
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Topics < 1 {
+		return fmt.Errorf("lda: Topics must be >= 1, got %d", c.Topics)
+	}
+	if c.V < 1 {
+		return fmt.Errorf("lda: V must be >= 1, got %d", c.V)
+	}
+	if c.Alpha < 0 || c.Beta < 0 {
+		return fmt.Errorf("lda: priors must be non-negative")
+	}
+	if c.BurnIn < 0 || c.Iterations < 1 || c.SampleLag < 1 || c.InferIterations < 2 {
+		return fmt.Errorf("lda: invalid Gibbs schedule (burnin %d, iters %d, lag %d, infer %d)",
+			c.BurnIn, c.Iterations, c.SampleLag, c.InferIterations)
+	}
+	return nil
+}
+
+// Model is a trained LDA model. Phi holds the posterior-mean topic-word
+// distributions; each row sums to 1.
+type Model struct {
+	K, V        int
+	Alpha, Beta float64
+	Phi         *mat.Matrix // K x V
+	InferIters  int
+}
+
+// Train runs collapsed Gibbs sampling on the documents. docs[d] lists the
+// token ids of document d (for the binary install-base input every owned
+// category appears once). weights, when non-nil, gives a positive weight per
+// token (the TF-IDF input variant); nil means unit weights. Documents may be
+// empty; they simply contribute nothing.
+func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if weights != nil && len(weights) != len(docs) {
+		return nil, fmt.Errorf("lda: weights length %d != docs length %d", len(weights), len(docs))
+	}
+	k, v := cfg.Topics, cfg.V
+
+	// token-level state
+	type token struct {
+		doc, word int
+		weight    float64
+		topic     int
+	}
+	var tokens []token
+	for d, doc := range docs {
+		for i, w := range doc {
+			if w < 0 || w >= v {
+				return nil, fmt.Errorf("lda: document %d has token %d outside [0,%d)", d, w, v)
+			}
+			wt := 1.0
+			if weights != nil {
+				if len(weights[d]) != len(doc) {
+					return nil, fmt.Errorf("lda: weights[%d] length %d != doc length %d", d, len(weights[d]), len(doc))
+				}
+				wt = weights[d][i]
+				if wt <= 0 || math.IsNaN(wt) {
+					return nil, fmt.Errorf("lda: weights must be positive, got %v", wt)
+				}
+			}
+			tokens = append(tokens, token{doc: d, word: w, weight: wt})
+		}
+	}
+
+	// count matrices (weighted)
+	nzw := mat.New(k, v)         // topic-word
+	nz := make([]float64, k)     // topic totals
+	ndz := mat.New(len(docs), k) // doc-topic
+	alpha, beta := cfg.Alpha, cfg.Beta
+	vbeta := float64(v) * beta
+
+	// random initialization
+	for i := range tokens {
+		t := &tokens[i]
+		t.topic = g.Intn(k)
+		nzw.Data[t.topic*v+t.word] += t.weight
+		nz[t.topic] += t.weight
+		ndz.Data[t.doc*k+t.topic] += t.weight
+	}
+
+	probs := make([]float64, k)
+	phiAcc := mat.New(k, v)
+	samples := 0
+	total := cfg.BurnIn + cfg.Iterations
+	for sweep := 0; sweep < total; sweep++ {
+		for i := range tokens {
+			t := &tokens[i]
+			// remove token from counts
+			nzw.Data[t.topic*v+t.word] -= t.weight
+			nz[t.topic] -= t.weight
+			ndz.Data[t.doc*k+t.topic] -= t.weight
+			// full conditional
+			drow := ndz.Row(t.doc)
+			for z := 0; z < k; z++ {
+				probs[z] = (drow[z] + alpha) * (nzw.Data[z*v+t.word] + beta) / (nz[z] + vbeta)
+			}
+			t.topic = g.Categorical(probs)
+			// add back
+			nzw.Data[t.topic*v+t.word] += t.weight
+			nz[t.topic] += t.weight
+			ndz.Data[t.doc*k+t.topic] += t.weight
+		}
+		if sweep >= cfg.BurnIn && (sweep-cfg.BurnIn)%cfg.SampleLag == 0 {
+			for z := 0; z < k; z++ {
+				denom := nz[z] + vbeta
+				for w := 0; w < v; w++ {
+					phiAcc.Data[z*v+w] += (nzw.Data[z*v+w] + beta) / denom
+				}
+			}
+			samples++
+		}
+	}
+	if samples == 0 { // schedule too short to sample; use final state
+		for z := 0; z < k; z++ {
+			denom := nz[z] + vbeta
+			for w := 0; w < v; w++ {
+				phiAcc.Data[z*v+w] += (nzw.Data[z*v+w] + beta) / denom
+			}
+		}
+		samples = 1
+	}
+	phiAcc.Scale(1 / float64(samples))
+	// normalize rows exactly
+	for z := 0; z < k; z++ {
+		mat.Normalize(phiAcc.Row(z))
+	}
+	return &Model{K: k, V: v, Alpha: alpha, Beta: beta, Phi: phiAcc, InferIters: cfg.InferIterations}, nil
+}
+
+// InferTheta estimates the topic mixture of a (possibly unseen) document by
+// fold-in Gibbs sampling with Phi fixed. Empty documents return the prior
+// mean (uniform).
+func (m *Model) InferTheta(doc []int, g *rng.RNG) []float64 {
+	theta := make([]float64, m.K)
+	if len(doc) == 0 {
+		for z := range theta {
+			theta[z] = 1 / float64(m.K)
+		}
+		return theta
+	}
+	assign := make([]int, len(doc))
+	ndk := make([]float64, m.K)
+	for i, w := range doc {
+		if w < 0 || w >= m.V {
+			panic(fmt.Sprintf("lda: token %d outside vocabulary [0,%d)", w, m.V))
+		}
+		assign[i] = g.Intn(m.K)
+		ndk[assign[i]]++
+	}
+	probs := make([]float64, m.K)
+	burn := m.InferIters / 2
+	thetaAcc := make([]float64, m.K)
+	samples := 0
+	for it := 0; it < m.InferIters; it++ {
+		for i, w := range doc {
+			ndk[assign[i]]--
+			for z := 0; z < m.K; z++ {
+				probs[z] = (ndk[z] + m.Alpha) * m.Phi.Data[z*m.V+w]
+			}
+			assign[i] = g.Categorical(probs)
+			ndk[assign[i]]++
+		}
+		if it >= burn {
+			denom := float64(len(doc)) + m.Alpha*float64(m.K)
+			for z := 0; z < m.K; z++ {
+				thetaAcc[z] += (ndk[z] + m.Alpha) / denom
+			}
+			samples++
+		}
+	}
+	for z := 0; z < m.K; z++ {
+		theta[z] = thetaAcc[z] / float64(samples)
+	}
+	mat.Normalize(theta)
+	return theta
+}
+
+// WordProb returns P(w | theta) = Σ_z theta_z Phi_zw.
+func (m *Model) WordProb(theta []float64, w int) float64 {
+	var p float64
+	for z := 0; z < m.K; z++ {
+		p += theta[z] * m.Phi.Data[z*m.V+w]
+	}
+	return p
+}
+
+// WordDist returns the full P(w | theta) distribution.
+func (m *Model) WordDist(theta []float64) []float64 {
+	out := make([]float64, m.V)
+	for w := 0; w < m.V; w++ {
+		out[w] = m.WordProb(theta, w)
+	}
+	return out
+}
+
+// Perplexity computes held-out perplexity by leave-one-out document
+// completion: each test token is scored under the topic mixture inferred
+// from all the *other* tokens of its document, so no token is used to infer
+// the mixture that predicts it. (Plain fold-in — inferring theta from the
+// full document including the scored token — lets large-K models overfit
+// the evaluation and destroys the U-shaped perplexity-vs-topics curve the
+// paper reports in Figure 2; leave-one-out keeps the evaluation honest
+// while giving the exchangeable model its full bidirectional context.)
+// Single-token documents are scored under the prior-mean mixture.
+func (m *Model) Perplexity(docs [][]int, g *rng.RNG) float64 {
+	var logSum float64
+	var n int
+	rest := make([]int, 0, 64)
+	for _, doc := range docs {
+		if len(doc) == 0 {
+			continue
+		}
+		if len(doc) == 1 {
+			theta := m.InferTheta(nil, g)
+			logSum += math.Log(m.WordProb(theta, doc[0]))
+			n++
+			continue
+		}
+		for i, w := range doc {
+			rest = rest[:0]
+			rest = append(rest, doc[:i]...)
+			rest = append(rest, doc[i+1:]...)
+			theta := m.InferTheta(rest, g)
+			logSum += math.Log(m.WordProb(theta, w))
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logSum / float64(n))
+}
+
+// Representations infers the company feature matrix B (N x K): row d is the
+// topic mixture of document d. This is the representation used for company
+// similarity search and clustering.
+func (m *Model) Representations(docs [][]int, g *rng.RNG) *mat.Matrix {
+	out := mat.New(len(docs), m.K)
+	for d, doc := range docs {
+		copy(out.Row(d), m.InferTheta(doc, g))
+	}
+	return out
+}
+
+// ProductEmbeddings returns the V x K matrix whose row w is
+// P(topic | product w) ∝ Phi_zw, the product embedding in topic space that
+// the paper projects with t-SNE (Figures 8-9).
+func (m *Model) ProductEmbeddings() *mat.Matrix {
+	out := mat.New(m.V, m.K)
+	for w := 0; w < m.V; w++ {
+		row := out.Row(w)
+		for z := 0; z < m.K; z++ {
+			row[z] = m.Phi.Data[z*m.V+w]
+		}
+		mat.Normalize(row)
+	}
+	return out
+}
+
+// TopWords returns the n highest-probability words of topic z, for
+// interpretability reporting (the paper stresses LDA's interpretable
+// parameters as a key advantage for marketing use).
+func (m *Model) TopWords(z, n int) []int {
+	if z < 0 || z >= m.K {
+		panic(fmt.Sprintf("lda: topic %d out of range", z))
+	}
+	idx := make([]int, m.V)
+	for i := range idx {
+		idx[i] = i
+	}
+	row := m.Phi.Row(z)
+	// partial selection sort: n is small
+	if n > m.V {
+		n = m.V
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < m.V; j++ {
+			if row[idx[j]] > row[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:n]
+}
+
+// ParameterCount returns the number of free parameters, nt + nt*M, the
+// figure the paper uses when contrasting LDA's ~156 parameters with the
+// LSTM's ~50,000.
+func (m *Model) ParameterCount() int { return m.K + m.K*m.V }
+
+type gobModel struct {
+	K, V        int
+	Alpha, Beta float64
+	PhiData     []float64
+	InferIters  int
+}
+
+// Save serializes the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gobModel{
+		K: m.K, V: m.V, Alpha: m.Alpha, Beta: m.Beta,
+		PhiData: m.Phi.Data, InferIters: m.InferIters,
+	})
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var g gobModel
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("lda: decoding model: %w", err)
+	}
+	if g.K < 1 || g.V < 1 || len(g.PhiData) != g.K*g.V {
+		return nil, fmt.Errorf("lda: corrupt model (K=%d, V=%d, phi=%d)", g.K, g.V, len(g.PhiData))
+	}
+	return &Model{
+		K: g.K, V: g.V, Alpha: g.Alpha, Beta: g.Beta,
+		Phi: mat.FromSlice(g.K, g.V, g.PhiData), InferIters: g.InferIters,
+	}, nil
+}

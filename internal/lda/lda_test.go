@@ -1,0 +1,355 @@
+package lda
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// twoTopicDocs builds a corpus with two disjoint planted topics:
+// words 0-4 (topic A) and words 5-9 (topic B). Half the documents draw from
+// A, half from B.
+func twoTopicDocs(n int, g *rng.RNG) [][]int {
+	docs := make([][]int, n)
+	for d := range docs {
+		base := 0
+		if d%2 == 1 {
+			base = 5
+		}
+		ln := 4 + g.Intn(3)
+		doc := make([]int, ln)
+		for i := range doc {
+			doc[i] = base + g.Intn(5)
+		}
+		docs[d] = doc
+	}
+	return docs
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Topics: 0, V: 5},
+		{Topics: 2, V: 0},
+		{Topics: 2, V: 5, Alpha: -1},
+		{Topics: 2, V: 5, Iterations: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(cfg, [][]int{{0}}, nil, rng.New(1)); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTrainRejectsBadTokens(t *testing.T) {
+	if _, err := Train(Config{Topics: 2, V: 3}, [][]int{{0, 7}}, nil, rng.New(1)); err == nil {
+		t.Fatal("out-of-range token accepted")
+	}
+	if _, err := Train(Config{Topics: 2, V: 3}, [][]int{{0}}, [][]float64{{1, 2}}, rng.New(1)); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := Train(Config{Topics: 2, V: 3}, [][]int{{0}}, [][]float64{{-1}}, rng.New(1)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := Train(Config{Topics: 2, V: 3}, [][]int{{0}, {1}}, [][]float64{{1}}, rng.New(1)); err == nil {
+		t.Fatal("short weights slice accepted")
+	}
+}
+
+func TestPhiRowsAreDistributions(t *testing.T) {
+	g := rng.New(2)
+	docs := twoTopicDocs(200, g)
+	m, err := Train(Config{Topics: 2, V: 10, BurnIn: 20, Iterations: 60}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < m.K; z++ {
+		row := m.Phi.Row(z)
+		var s float64
+		for _, p := range row {
+			if p <= 0 || p > 1 {
+				t.Fatalf("phi[%d] has invalid probability %v", z, p)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("phi[%d] sums to %v", z, s)
+		}
+	}
+}
+
+func TestRecoversPlantedTopics(t *testing.T) {
+	g := rng.New(3)
+	docs := twoTopicDocs(400, g)
+	m, err := Train(Config{Topics: 2, V: 10, Alpha: 0.5, BurnIn: 30, Iterations: 80}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each topic should concentrate nearly all its mass on one 5-word block.
+	for z := 0; z < 2; z++ {
+		row := m.Phi.Row(z)
+		var massA, massB float64
+		for w := 0; w < 5; w++ {
+			massA += row[w]
+		}
+		for w := 5; w < 10; w++ {
+			massB += row[w]
+		}
+		if math.Max(massA, massB) < 0.9 {
+			t.Fatalf("topic %d not separated: A=%v B=%v", z, massA, massB)
+		}
+	}
+	// The two topics must specialize on different blocks.
+	a0 := 0.0
+	for w := 0; w < 5; w++ {
+		a0 += m.Phi.At(0, w)
+	}
+	a1 := 0.0
+	for w := 0; w < 5; w++ {
+		a1 += m.Phi.At(1, w)
+	}
+	if (a0 > 0.5) == (a1 > 0.5) {
+		t.Fatal("both topics collapsed onto the same word block")
+	}
+}
+
+func TestInferThetaSeparatesDocs(t *testing.T) {
+	g := rng.New(5)
+	docs := twoTopicDocs(400, g)
+	m, err := Train(Config{Topics: 2, V: 10, Alpha: 0.5, BurnIn: 30, Iterations: 80}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetaA := m.InferTheta([]int{0, 1, 2, 3, 4}, g)
+	thetaB := m.InferTheta([]int{5, 6, 7, 8, 9}, g)
+	// Each should be dominated by a different topic.
+	if mat.ArgMax(thetaA) == mat.ArgMax(thetaB) {
+		t.Fatalf("thetas not separated: %v vs %v", thetaA, thetaB)
+	}
+	for _, th := range [][]float64{thetaA, thetaB} {
+		var s float64
+		for _, v := range th {
+			if v < 0 {
+				t.Fatalf("negative theta %v", th)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("theta sums to %v", s)
+		}
+	}
+	// empty document: uniform prior
+	thetaE := m.InferTheta(nil, g)
+	for _, v := range thetaE {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("empty doc theta = %v, want uniform", thetaE)
+		}
+	}
+}
+
+func TestPerplexityBeatsUniformOnStructuredData(t *testing.T) {
+	g := rng.New(7)
+	train := twoTopicDocs(400, g)
+	test := twoTopicDocs(100, g)
+	m, err := Train(Config{Topics: 2, V: 10, Alpha: 0.5, BurnIn: 30, Iterations: 80}, train, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Perplexity(test, g)
+	// Uniform over 10 words has perplexity 10; with two planted 5-word
+	// topics the model should approach ~5.
+	if p >= 8 {
+		t.Fatalf("perplexity = %v, want << 10 on structured data", p)
+	}
+	if p < 1 {
+		t.Fatalf("perplexity = %v < 1 is impossible", p)
+	}
+	if !math.IsInf(m.Perplexity(nil, g), 1) {
+		t.Fatal("empty test set should give +Inf")
+	}
+}
+
+func TestWordDistSumsToOne(t *testing.T) {
+	g := rng.New(9)
+	docs := twoTopicDocs(100, g)
+	m, err := Train(Config{Topics: 3, V: 10, BurnIn: 10, Iterations: 30}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.InferTheta(docs[0], g)
+	d := m.WordDist(theta)
+	var s float64
+	for _, p := range d {
+		s += p
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("word distribution sums to %v", s)
+	}
+}
+
+func TestRepresentationsShape(t *testing.T) {
+	g := rng.New(11)
+	docs := twoTopicDocs(50, g)
+	m, err := Train(Config{Topics: 4, V: 10, BurnIn: 10, Iterations: 30}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Representations(docs, g)
+	if b.Rows != 50 || b.Cols != 4 {
+		t.Fatalf("representations shape %dx%d", b.Rows, b.Cols)
+	}
+	for i := 0; i < b.Rows; i++ {
+		var s float64
+		for _, v := range b.Row(i) {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestProductEmbeddings(t *testing.T) {
+	g := rng.New(13)
+	docs := twoTopicDocs(300, g)
+	m, err := Train(Config{Topics: 2, V: 10, Alpha: 0.5, BurnIn: 30, Iterations: 80}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.ProductEmbeddings()
+	if e.Rows != 10 || e.Cols != 2 {
+		t.Fatalf("embedding shape %dx%d", e.Rows, e.Cols)
+	}
+	// words from the same planted topic should have similar embeddings,
+	// words from different topics dissimilar
+	same := mat.CosineSim(e.Row(0), e.Row(1))
+	diff := mat.CosineSim(e.Row(0), e.Row(6))
+	if same <= diff {
+		t.Fatalf("embedding similarity: same-topic %v <= cross-topic %v", same, diff)
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	g := rng.New(15)
+	docs := twoTopicDocs(300, g)
+	m, err := Train(Config{Topics: 2, V: 10, Alpha: 0.5, BurnIn: 30, Iterations: 80}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopWords(0, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopWords returned %d", len(top))
+	}
+	// all from one planted block
+	lo, hi := 0, 0
+	for _, w := range top {
+		if w < 5 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if lo != 5 && hi != 5 {
+		t.Fatalf("top words mixed blocks: %v", top)
+	}
+	// descending probability
+	row := m.Phi.Row(0)
+	for i := 1; i < len(top); i++ {
+		if row[top[i]] > row[top[i-1]]+1e-12 {
+			t.Fatal("top words not sorted by probability")
+		}
+	}
+	// n > V clamps
+	if got := m.TopWords(0, 100); len(got) != 10 {
+		t.Fatalf("clamped TopWords = %d", len(got))
+	}
+}
+
+func TestParameterCount(t *testing.T) {
+	m := &Model{K: 4, V: 38}
+	if m.ParameterCount() != 4+4*38 {
+		t.Fatalf("ParameterCount = %d, want 156 (the paper's LDA4 figure)", m.ParameterCount())
+	}
+}
+
+func TestWeightedTrainingRuns(t *testing.T) {
+	g := rng.New(17)
+	docs := twoTopicDocs(100, g)
+	weights := make([][]float64, len(docs))
+	for d, doc := range docs {
+		w := make([]float64, len(doc))
+		for i := range w {
+			w[i] = 0.5 + g.Float64()
+		}
+		weights[d] = w
+	}
+	m, err := Train(Config{Topics: 2, V: 10, BurnIn: 10, Iterations: 30}, docs, weights, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 2; z++ {
+		var s float64
+		for _, p := range m.Phi.Row(z) {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("weighted phi[%d] sums to %v", z, s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	docs := twoTopicDocs(100, rng.New(21))
+	m1, err := Train(Config{Topics: 2, V: 10, BurnIn: 5, Iterations: 20}, docs, nil, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(Config{Topics: 2, V: 10, BurnIn: 5, Iterations: 20}, docs, nil, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(m1.Phi, m2.Phi, 0) {
+		t.Fatal("training not deterministic under identical seeds")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := rng.New(23)
+	docs := twoTopicDocs(100, g)
+	m, err := Train(Config{Topics: 3, V: 10, BurnIn: 5, Iterations: 20}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != m.K || got.V != m.V || got.Alpha != m.Alpha || got.Beta != m.Beta {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if !mat.Equal(got.Phi, m.Phi, 0) {
+		t.Fatal("phi mismatch after round trip")
+	}
+	if _, err := Load(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEmptyDocumentsTolerated(t *testing.T) {
+	g := rng.New(25)
+	docs := [][]int{{}, {0, 1}, {}, {2, 3}}
+	m, err := Train(Config{Topics: 2, V: 4, BurnIn: 5, Iterations: 15}, docs, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Representations(docs, g)
+	if b.Rows != 4 {
+		t.Fatalf("rows = %d", b.Rows)
+	}
+}

@@ -1,0 +1,407 @@
+package lstm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// TrainStats records the learning curve of one training run.
+type TrainStats struct {
+	TrainLoss  []float64 // mean per-token NLL per epoch
+	ValidPerpl []float64 // validation perplexity per epoch (empty without valid set)
+}
+
+// adam holds Adam moments for one parameter slice.
+type adam struct {
+	m, v []float64
+}
+
+func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
+
+// sgdStep applies param -= lr * grad.
+func sgdStep(param, grad []float64, lr float64) {
+	for i, g := range grad {
+		if g != 0 {
+			param[i] -= lr * g
+		}
+	}
+}
+
+func (a *adam) update(param, grad []float64, lr float64, step int) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	for i, g := range grad {
+		if g == 0 {
+			// Still decay moments for touched-but-zero grads is unnecessary;
+			// skipping keeps sparse embedding updates cheap and is the
+			// standard "lazy Adam" treatment.
+			continue
+		}
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		param[i] -= lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+	}
+}
+
+// grads mirrors the model's parameter tensors.
+type grads struct {
+	emb   []float64
+	cells []struct {
+		wx, wh, b []float64
+	}
+	wo, bo []float64
+}
+
+func newGrads(m *Model) *grads {
+	g := &grads{
+		emb: make([]float64, len(m.Emb.Data)),
+		wo:  make([]float64, len(m.Wo.Data)),
+		bo:  make([]float64, len(m.Bo)),
+	}
+	for range m.Cells {
+		g.cells = append(g.cells, struct{ wx, wh, b []float64 }{})
+	}
+	for l, c := range m.Cells {
+		g.cells[l].wx = make([]float64, len(c.Wx.Data))
+		g.cells[l].wh = make([]float64, len(c.Wh.Data))
+		g.cells[l].b = make([]float64, len(c.B))
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	zero := func(xs []float64) {
+		for i := range xs {
+			xs[i] = 0
+		}
+	}
+	zero(g.emb)
+	zero(g.wo)
+	zero(g.bo)
+	for l := range g.cells {
+		zero(g.cells[l].wx)
+		zero(g.cells[l].wh)
+		zero(g.cells[l].b)
+	}
+}
+
+// globalNorm returns the L2 norm over all gradient tensors.
+func (g *grads) globalNorm() float64 {
+	var s float64
+	add := func(xs []float64) {
+		for _, v := range xs {
+			s += v * v
+		}
+	}
+	add(g.emb)
+	add(g.wo)
+	add(g.bo)
+	for l := range g.cells {
+		add(g.cells[l].wx)
+		add(g.cells[l].wh)
+		add(g.cells[l].b)
+	}
+	return math.Sqrt(s)
+}
+
+func (g *grads) scale(f float64) {
+	sc := func(xs []float64) {
+		for i := range xs {
+			xs[i] *= f
+		}
+	}
+	sc(g.emb)
+	sc(g.wo)
+	sc(g.bo)
+	for l := range g.cells {
+		sc(g.cells[l].wx)
+		sc(g.cells[l].wh)
+		sc(g.cells[l].b)
+	}
+}
+
+// Train fits an LSTM language model on the training sequences. When valid is
+// non-empty, validation perplexity is recorded after each epoch (the paper
+// holds out 10% for parameter validation). Sequences are processed one at a
+// time (the corpus sequences are at most M=38 tokens long), with Adam
+// updates per sequence and global-norm gradient clipping.
+func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	var nTokens int
+	for si, seq := range train {
+		for _, tok := range seq {
+			if tok < 0 || tok >= cfg.V {
+				return nil, TrainStats{}, fmt.Errorf("lstm: train sequence %d token %d outside [0,%d)", si, tok, cfg.V)
+			}
+		}
+		nTokens += len(seq)
+	}
+	if nTokens == 0 {
+		return nil, TrainStats{}, fmt.Errorf("lstm: training corpus has no tokens")
+	}
+	for si, seq := range valid {
+		for _, tok := range seq {
+			if tok < 0 || tok >= cfg.V {
+				return nil, TrainStats{}, fmt.Errorf("lstm: valid sequence %d token %d outside [0,%d)", si, tok, cfg.V)
+			}
+		}
+	}
+
+	model := newModel(cfg, g)
+	gr := newGrads(model)
+	opt := map[string]*adam{
+		"emb": newAdam(len(gr.emb)),
+		"wo":  newAdam(len(gr.wo)),
+		"bo":  newAdam(len(gr.bo)),
+	}
+	for l := range gr.cells {
+		opt[fmt.Sprintf("wx%d", l)] = newAdam(len(gr.cells[l].wx))
+		opt[fmt.Sprintf("wh%d", l)] = newAdam(len(gr.cells[l].wh))
+		opt[fmt.Sprintf("b%d", l)] = newAdam(len(gr.cells[l].b))
+	}
+
+	stats := TrainStats{}
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// SGD follows the Zaremba schedule: constant lr, geometric decay
+		// after the warm period.
+		sgdLR := cfg.SGDLearnRate
+		if over := epoch - cfg.SGDDecayAfter; over > 0 {
+			sgdLR *= math.Pow(cfg.SGDDecay, float64(over))
+		}
+		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var lossSum float64
+		var lossTokens int
+		for _, si := range order {
+			seq := train[si]
+			if len(seq) == 0 {
+				continue
+			}
+			gr.zero()
+			loss := model.bptt(seq, cfg.Dropout, gr, g)
+			lossSum += loss
+			lossTokens += len(seq)
+			if norm := gr.globalNorm(); norm > cfg.ClipNorm {
+				gr.scale(cfg.ClipNorm / norm)
+			}
+			step++
+			if cfg.Optimizer == "sgd" {
+				sgdStep(model.Emb.Data, gr.emb, sgdLR)
+				sgdStep(model.Wo.Data, gr.wo, sgdLR)
+				sgdStep(model.Bo, gr.bo, sgdLR)
+				for l := range model.Cells {
+					sgdStep(model.Cells[l].Wx.Data, gr.cells[l].wx, sgdLR)
+					sgdStep(model.Cells[l].Wh.Data, gr.cells[l].wh, sgdLR)
+					sgdStep(model.Cells[l].B, gr.cells[l].b, sgdLR)
+				}
+			} else {
+				opt["emb"].update(model.Emb.Data, gr.emb, cfg.LearnRate, step)
+				opt["wo"].update(model.Wo.Data, gr.wo, cfg.LearnRate, step)
+				opt["bo"].update(model.Bo, gr.bo, cfg.LearnRate, step)
+				for l := range model.Cells {
+					opt[fmt.Sprintf("wx%d", l)].update(model.Cells[l].Wx.Data, gr.cells[l].wx, cfg.LearnRate, step)
+					opt[fmt.Sprintf("wh%d", l)].update(model.Cells[l].Wh.Data, gr.cells[l].wh, cfg.LearnRate, step)
+					opt[fmt.Sprintf("b%d", l)].update(model.Cells[l].B, gr.cells[l].b, cfg.LearnRate, step)
+				}
+			}
+		}
+		if lossTokens > 0 {
+			stats.TrainLoss = append(stats.TrainLoss, lossSum/float64(lossTokens))
+		}
+		if len(valid) > 0 {
+			stats.ValidPerpl = append(stats.ValidPerpl, model.Perplexity(valid))
+		}
+	}
+	return model, stats, nil
+}
+
+// bptt runs one forward+backward pass over a sequence and accumulates
+// gradients into gr, returning the total cross-entropy loss. Dropout with
+// probability p is applied (inverted scaling) to non-recurrent connections:
+// the input of every layer and the top hidden state before projection.
+func (m *Model) bptt(seq []int, p float64, gr *grads, g *rng.RNG) float64 {
+	hd := m.Hidden
+	T := len(seq)
+	L := m.Layers
+	keep := 1 - p
+
+	// Per-timestep inputs: BOS then seq[:T-1].
+	inputs := make([]int, T)
+	inputs[0] = m.bosToken()
+	copy(inputs[1:], seq[:T-1])
+
+	// Forward with caches.
+	caches := make([][]stepCache, L) // [layer][time]
+	inMasks := make([][][]float64, L)
+	for l := 0; l < L; l++ {
+		caches[l] = make([]stepCache, T)
+		inMasks[l] = make([][]float64, T)
+	}
+	topMasks := make([][]float64, T)
+
+	sampleMask := func() []float64 {
+		if p == 0 {
+			return nil
+		}
+		mask := make([]float64, hd)
+		for j := range mask {
+			if g.Float64() < keep {
+				mask[j] = 1 / keep
+			}
+		}
+		return mask
+	}
+	applyMask := func(x, mask []float64) []float64 {
+		if mask == nil {
+			return x
+		}
+		out := make([]float64, len(x))
+		for j := range x {
+			out[j] = x[j] * mask[j]
+		}
+		return out
+	}
+
+	h := make([][]float64, L)
+	c := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		h[l] = make([]float64, hd)
+		c[l] = make([]float64, hd)
+	}
+	var loss float64
+	dlogitsAll := make([][]float64, T)
+	topH := make([][]float64, T) // dropped-out top hidden per timestep
+	for t := 0; t < T; t++ {
+		x := m.Emb.Row(inputs[t])
+		for l := 0; l < L; l++ {
+			inMasks[l][t] = sampleMask()
+			xin := applyMask(x, inMasks[l][t])
+			h[l], c[l] = m.step(l, xin, h[l], c[l], &caches[l][t])
+			x = h[l]
+		}
+		topMasks[t] = sampleMask()
+		ht := applyMask(x, topMasks[t])
+		topH[t] = ht
+		logits := m.Logits(ht)
+		lse := mat.LogSumExp(logits)
+		loss += lse - logits[seq[t]]
+		// dlogits = softmax - onehot(target)
+		dl := make([]float64, m.V)
+		for j := range dl {
+			dl[j] = math.Exp(logits[j] - lse)
+		}
+		dl[seq[t]] -= 1
+		dlogitsAll[t] = dl
+	}
+
+	// Backward.
+	dhNext := make([][]float64, L)
+	dcNext := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		dhNext[l] = make([]float64, hd)
+		dcNext[l] = make([]float64, hd)
+	}
+	woMat := m.Wo
+	dxBuf := make([]float64, hd)
+	dpre := make([]float64, 4*hd)
+	for t := T - 1; t >= 0; t-- {
+		// output layer
+		dl := dlogitsAll[t]
+		for j := range dl {
+			g0 := dl[j]
+			wrow := gr.wo[j*hd : (j+1)*hd]
+			for k := 0; k < hd; k++ {
+				wrow[k] += g0 * topH[t][k]
+			}
+			gr.bo[j] += g0
+		}
+		// dh_top (through the output dropout mask)
+		dhTop := make([]float64, hd)
+		mat.MulVecTransTo(dhTop, woMat, dl)
+		if topMasks[t] != nil {
+			for k := 0; k < hd; k++ {
+				dhTop[k] *= topMasks[t][k]
+			}
+		}
+		// propagate down the stack
+		dFromAbove := dhTop
+		for l := L - 1; l >= 0; l-- {
+			cc := &caches[l][t]
+			dh := make([]float64, hd)
+			for k := 0; k < hd; k++ {
+				dh[k] = dFromAbove[k] + dhNext[l][k]
+			}
+			dc := dcNext[l]
+			for k := 0; k < hd; k++ {
+				tc := cc.tanhC[k]
+				do := dh[k] * tc
+				dck := dc[k] + dh[k]*cc.o[k]*(1-tc*tc)
+				di := dck * cc.gc[k]
+				dg := dck * cc.i[k]
+				df := dck * cc.cPrev[k]
+				dcPrev := dck * cc.f[k]
+				dpre[k] = di * cc.i[k] * (1 - cc.i[k])
+				dpre[hd+k] = df * cc.f[k] * (1 - cc.f[k])
+				dpre[2*hd+k] = dg * (1 - cc.gc[k]*cc.gc[k])
+				dpre[3*hd+k] = do * cc.o[k] * (1 - cc.o[k])
+				dcNext[l][k] = dcPrev
+			}
+			// parameter grads
+			cw := &gr.cells[l]
+			hPrev := prevH(caches, l, t, hd)
+			for j := 0; j < 4*hd; j++ {
+				gj := dpre[j]
+				if gj == 0 {
+					continue
+				}
+				wxRow := cw.wx[j*hd : (j+1)*hd]
+				whRow := cw.wh[j*hd : (j+1)*hd]
+				for k := 0; k < hd; k++ {
+					wxRow[k] += gj * cc.x[k]
+					whRow[k] += gj * hPrev[k]
+				}
+				cw.b[j] += gj
+			}
+			// dx and dhPrev
+			mat.MulVecTransTo(dxBuf, m.Cells[l].Wx, dpre)
+			mat.MulVecTransTo(dhNext[l], m.Cells[l].Wh, dpre)
+			// through the input dropout mask
+			dx := append([]float64(nil), dxBuf...)
+			if inMasks[l][t] != nil {
+				for k := 0; k < hd; k++ {
+					dx[k] *= inMasks[l][t][k]
+				}
+			}
+			dFromAbove = dx
+		}
+		// embedding gradient
+		row := gr.emb[inputs[t]*hd : (inputs[t]+1)*hd]
+		for k := 0; k < hd; k++ {
+			row[k] += dFromAbove[k]
+		}
+	}
+	return loss
+}
+
+// prevH returns layer l's hidden state at time t-1 (zeros at t=0).
+func prevH(caches [][]stepCache, l, t, hd int) []float64 {
+	if t == 0 {
+		return make([]float64, hd)
+	}
+	return caches[l][t-1].h
+}

@@ -1,0 +1,74 @@
+package ngram
+
+import (
+	"repro/internal/stats"
+)
+
+// SequentialityReport summarizes the paper's i.i.d. hypothesis test: for
+// each observed bigram/trigram, test whether its frequency is significantly
+// higher than expected if products were drawn i.i.d. from the unigram
+// distribution. Under i.i.d., an n-gram's count over n slots is
+// Binomial(n, Π p(token)). The paper reports 69% of bigrams and 43% of
+// trigrams significant on its corpus.
+type SequentialityReport struct {
+	Bigrams             int     // distinct observed bigrams
+	SignificantBigrams  int     //
+	BigramFraction      float64 //
+	Trigrams            int
+	SignificantTrigrams int
+	TrigramFraction     float64
+	Alpha               float64
+}
+
+// TestSequentiality runs the binomial sequentiality test at level alpha
+// (the paper uses one-sided significance of over-represented n-grams).
+func TestSequentiality(sequences [][]int, v int, alpha float64) SequentialityReport {
+	uni := make([]float64, v)
+	var uniTotal float64
+	biCount := make(map[[2]int]int)
+	triCount := make(map[[3]int]int)
+	var biSlots, triSlots int
+	for _, seq := range sequences {
+		for i, tok := range seq {
+			uni[tok]++
+			uniTotal++
+			if i >= 1 {
+				biCount[[2]int{seq[i-1], tok}]++
+				biSlots++
+			}
+			if i >= 2 {
+				triCount[[3]int{seq[i-2], seq[i-1], tok}]++
+				triSlots++
+			}
+		}
+	}
+	rep := SequentialityReport{Alpha: alpha}
+	if uniTotal == 0 {
+		return rep
+	}
+	p := make([]float64, v)
+	for tok := range uni {
+		p[tok] = uni[tok] / uniTotal
+	}
+	for gram, k := range biCount {
+		rep.Bigrams++
+		pr := p[gram[0]] * p[gram[1]]
+		if stats.BinomialTestSignificant(biSlots, k, pr, alpha) {
+			rep.SignificantBigrams++
+		}
+	}
+	for gram, k := range triCount {
+		rep.Trigrams++
+		pr := p[gram[0]] * p[gram[1]] * p[gram[2]]
+		if stats.BinomialTestSignificant(triSlots, k, pr, alpha) {
+			rep.SignificantTrigrams++
+		}
+	}
+	if rep.Bigrams > 0 {
+		rep.BigramFraction = float64(rep.SignificantBigrams) / float64(rep.Bigrams)
+	}
+	if rep.Trigrams > 0 {
+		rep.TrigramFraction = float64(rep.SignificantTrigrams) / float64(rep.Trigrams)
+	}
+	return rep
+}

@@ -1,0 +1,266 @@
+// Package plot renders the paper's figures as standalone SVG files using
+// only the standard library: line charts (perplexity curves, accuracy
+// sweeps, silhouette curves), scatter plots with labels (the t-SNE product
+// projections) and box plots (the BPMF score distribution). The goal is not
+// a general charting library but faithful, dependency-free renderings of
+// the eight figures this repository reproduces.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one named line of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Dashed draws the series with a dashed stroke.
+	Dashed bool
+}
+
+// palette cycles through visually distinct stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+// LineChart describes a multi-series line chart.
+type LineChart struct {
+	Title          string
+	XLabel, YLabel string
+	Series         []Series
+	Width, Height  int  // 0 selects 720x480
+	LegendAtBottom bool //
+	YMinZero       bool // force the y-axis to start at 0
+}
+
+// axis computes nice bounds and returns (min, max).
+func axisBounds(vals []float64, forceZero bool) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) { // no finite data
+		return 0, 1
+	}
+	if forceZero && lo > 0 {
+		lo = 0
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.06
+	return lo - pad, hi + pad
+}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 480
+	}
+	const mL, mR, mT, mB = 64, 24, 40, 56
+	pw, ph := float64(w-mL-mR), float64(h-mT-mB)
+
+	var allX, allY []float64
+	for _, s := range c.Series {
+		allX = append(allX, s.X...)
+		allY = append(allY, s.Y...)
+	}
+	xmin, xmax := axisBounds(allX, false)
+	ymin, ymax := axisBounds(allY, c.YMinZero)
+	tx := func(x float64) float64 { return float64(mL) + (x-xmin)/(xmax-xmin)*pw }
+	ty := func(y float64) float64 { return float64(mT) + (1-(y-ymin)/(ymax-ymin))*ph }
+
+	var b strings.Builder
+	header(&b, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", w/2, escape(c.Title))
+	// axes
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", mL, h-mB, w-mR, h-mB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", mL, mT, mL, h-mB)
+	// ticks: 5 per axis
+	for i := 0; i <= 5; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/5
+		fy := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n", tx(fx), h-mB, tx(fx), h-mB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", tx(fx), h-mB+18, fmtTick(fx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n", mL-5, ty(fy), mL, ty(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" font-family="sans-serif">%s</text>`+"\n", mL-8, ty(fy)+4, fmtTick(fy))
+	}
+	// axis labels
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", mL+int(pw/2), h-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="13" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`+"\n", mT+int(ph/2), mT+int(ph/2), escape(c.YLabel))
+	// series
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		var pts []string
+		for i := range s.X {
+			if i < len(s.Y) && !math.IsNaN(s.Y[i]) {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[i]), ty(s.Y[i])))
+			}
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n", strings.Join(pts, " "), color, dash)
+		}
+		for i := range s.X {
+			if i < len(s.Y) && !math.IsNaN(s.Y[i]) {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", tx(s.X[i]), ty(s.Y[i]), color)
+			}
+		}
+		// legend
+		lx, ly := w-mR-150, mT+18*si+6
+		if c.LegendAtBottom {
+			lx, ly = mL+140*si, h-30
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n", lx, ly, lx+22, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">%s</text>`+"\n", lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// LabeledPoint is one labeled scatter point (a t-SNE product).
+type LabeledPoint struct {
+	Label string
+	Group int // color index
+	X, Y  float64
+}
+
+// Scatter describes a labeled scatter plot.
+type Scatter struct {
+	Title         string
+	Points        []LabeledPoint
+	Width, Height int
+}
+
+// SVG renders the scatter plot.
+func (s *Scatter) SVG() string {
+	w, h := s.Width, s.Height
+	if w == 0 {
+		w = 760
+	}
+	if h == 0 {
+		h = 560
+	}
+	const m = 48
+	var xs, ys []float64
+	for _, p := range s.Points {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	xmin, xmax := axisBounds(xs, false)
+	ymin, ymax := axisBounds(ys, false)
+	tx := func(x float64) float64 { return m + (x-xmin)/(xmax-xmin)*float64(w-2*m) }
+	ty := func(y float64) float64 { return m + (1-(y-ymin)/(ymax-ymin))*float64(h-2*m) }
+
+	var b strings.Builder
+	header(&b, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", w/2, escape(s.Title))
+	for _, p := range s.Points {
+		color := palette[p.Group%len(palette)]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" fill-opacity="0.85"/>`+"\n", tx(p.X), ty(p.Y), color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif">%s</text>`+"\n", tx(p.X)+6, ty(p.Y)+3, escape(p.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Box describes a single-box box plot (the paper's Figure 5).
+type Box struct {
+	Title                    string
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLo, WhiskerHi     float64
+	Outliers                 []float64
+	Width, Height            int
+}
+
+// SVG renders the box plot.
+func (bx *Box) SVG() string {
+	w, h := bx.Width, bx.Height
+	if w == 0 {
+		w = 320
+	}
+	if h == 0 {
+		h = 480
+	}
+	const m = 56
+	vals := append([]float64{bx.Min, bx.Max}, bx.Outliers...)
+	ymin, ymax := axisBounds(vals, false)
+	ty := func(y float64) float64 { return m + (1-(y-ymin)/(ymax-ymin))*float64(h-2*m) }
+	cx := float64(w) / 2
+	bw := float64(w) * 0.25
+
+	var b strings.Builder
+	header(&b, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="14" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", w/2, escape(bx.Title))
+	// y ticks
+	for i := 0; i <= 5; i++ {
+		fy := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" font-family="sans-serif">%s</text>`+"\n", int(cx-bw)-14, ty(fy)+4, fmtTick(fy))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", cx-bw-8, ty(fy), cx+bw+8, ty(fy))
+	}
+	// whiskers
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, ty(bx.WhiskerLo), cx, ty(bx.Q1))
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, ty(bx.Q3), cx, ty(bx.WhiskerHi))
+	for _, y := range []float64{bx.WhiskerLo, bx.WhiskerHi} {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx-bw/2, ty(y), cx+bw/2, ty(y))
+	}
+	// box + median
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#9ecae1" stroke="#333"/>`+"\n",
+		cx-bw, ty(bx.Q3), 2*bw, ty(bx.Q1)-ty(bx.Q3))
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d62728" stroke-width="2"/>`+"\n",
+		cx-bw, ty(bx.Median), cx+bw, ty(bx.Median))
+	// outliers
+	for _, o := range bx.Outliers {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="none" stroke="#333"/>`+"\n", cx, ty(o))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func header(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 100000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteFile writes svg content to path.
+func WriteFile(path, svg string) error {
+	return os.WriteFile(path, []byte(svg), 0o644)
+}

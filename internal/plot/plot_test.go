@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validXML checks the SVG is well-formed XML.
+func validXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := &LineChart{
+		Title:  "Figure 2: perplexity vs topics",
+		XLabel: "number of latent topics",
+		YLabel: "perplexity",
+		Series: []Series{
+			{Name: "binary", X: []float64{2, 3, 4}, Y: []float64{26.9, 23.8, 23.8}},
+			{Name: "TF-IDF", X: []float64{2, 3, 4}, Y: []float64{28.1, 24.0, 26.0}, Dashed: true},
+		},
+	}
+	svg := c.SVG()
+	validXML(t, svg)
+	for _, want := range []string{"polyline", "binary", "TF-IDF", "perplexity", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestLineChartHandlesNaN(t *testing.T) {
+	c := &LineChart{
+		Series: []Series{{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}}},
+	}
+	svg := c.SVG()
+	validXML(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestLineChartEmptyAndConstant(t *testing.T) {
+	// no data at all
+	empty := &LineChart{Title: "empty"}
+	validXML(t, empty.SVG())
+	// constant series (zero range axes)
+	flat := &LineChart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	svg := flat.SVG()
+	validXML(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate axis leaked non-finite values")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	s := &Scatter{
+		Title: "Figure 8: LDA3 product embeddings",
+		Points: []LabeledPoint{
+			{Label: "server_HW", Group: 0, X: 1, Y: 2},
+			{Label: "commerce & retail", Group: 1, X: -3, Y: 4},
+		},
+	}
+	svg := s.SVG()
+	validXML(t, svg)
+	if !strings.Contains(svg, "server_HW") {
+		t.Fatal("label missing")
+	}
+	if !strings.Contains(svg, "&amp;") {
+		t.Fatal("ampersand not escaped")
+	}
+}
+
+func TestBoxSVG(t *testing.T) {
+	b := &Box{
+		Title: "Figure 5: BPMF scores",
+		Min:   0.85, Q1: 0.94, Median: 0.956, Q3: 0.968, Max: 0.999,
+		WhiskerLo: 0.9, WhiskerHi: 0.999,
+		Outliers: []float64{0.85, 0.86},
+	}
+	svg := b.SVG()
+	validXML(t, svg)
+	if !strings.Contains(svg, "rect") || !strings.Contains(svg, "circle") {
+		t.Fatal("box or outliers missing")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.svg")
+	c := &LineChart{Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 2}}}}
+	if err := WriteFile(path, c.SVG()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("file does not start with <svg")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		250000: "250k",
+		150:    "150",
+		2.5:    "2.5",
+		0.034:  "0.03",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package recommend
+
+import (
+	"strconv"
+
+	"repro/internal/bpmf"
+	"repro/internal/chh"
+	"repro/internal/lda"
+	"repro/internal/lstm"
+	"repro/internal/ngram"
+	"repro/internal/rng"
+)
+
+// LDA adapts a trained LDA model: the company's topic mixture is inferred
+// from its owned products (order-free, matching LDA's exchangeability) and
+// every category is scored by P(category | theta).
+func LDA(m *lda.Model, g *rng.RNG) Recommender {
+	return &Static{
+		Label: "LDA" + strconv.Itoa(m.K),
+		Fn: func(history []int) []float64 {
+			theta := m.InferTheta(history, g)
+			return m.WordDist(theta)
+		},
+	}
+}
+
+// LSTM adapts a trained LSTM language model: the next-product softmax after
+// consuming the time-ordered history.
+func LSTM(m *lstm.Model) Recommender {
+	return &Static{
+		Label: "LSTM",
+		Fn:    m.NextDist,
+	}
+}
+
+// Ngram adapts an n-gram language model.
+func Ngram(m *ngram.Model) Recommender {
+	label := [4]string{"", "unigram", "bigram", "trigram"}[m.Order]
+	return &Static{
+		Label: label,
+		Fn:    m.Dist,
+	}
+}
+
+// CHH adapts an exact Conditional-Heavy-Hitters model: the conditional
+// next-product distribution given the last one or two acquisitions.
+func CHH(m *chh.Exact) Recommender {
+	return &Static{
+		Label: "CHH",
+		Fn:    m.Dist,
+	}
+}
+
+// BPMFForRow scores all categories for one company row of a trained BPMF
+// model. Matrix-factorization scores are positional (per company row), not
+// history-based, so BPMF recommenders are built per company; the harness
+// for the paper's Figure 6 sweeps score thresholds directly over these
+// per-row predictive scores.
+func BPMFForRow(m *bpmf.Model, row int) Recommender {
+	return &Static{
+		Label: "BPMF",
+		Fn: func([]int) []float64 {
+			out := make([]float64, m.M)
+			copy(out, m.Scores.Row(row))
+			return out
+		},
+	}
+}

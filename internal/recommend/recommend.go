@@ -1,0 +1,237 @@
+// Package recommend implements the paper's recommendation-evaluation
+// methodology (Section 4.3): a window W_r of r months slides over the
+// corpus timeline with a two-month granularity; for each window a model is
+// trained on everything before the window start and asked, per company, for
+// the probability of each not-yet-owned product appearing in the window.
+// Products whose probability exceeds a threshold phi are recommended.
+// Precision/recall/F1 are aggregated per window, and the paper's plots
+// (Figures 3, 4 and 6) are per-threshold means with 95% confidence
+// intervals across the windows.
+package recommend
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+// Recommender scores the next products of one company. Implementations
+// adapt the generative models (LDA, LSTM, n-gram, CHH, BPMF) to a common
+// shape.
+type Recommender interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Scores returns, for every category, the model's probability that the
+	// company acquires it next / within the window, given the time-ordered
+	// acquisition history. The harness masks out already-owned categories.
+	Scores(history []int) []float64
+}
+
+// TrainFunc builds a recommender from the training corpus visible before a
+// window starts. It is called once per window; implementations that train
+// expensive models may cache across calls.
+type TrainFunc func(train *corpus.Corpus, windowStart corpus.Month) (Recommender, error)
+
+// WindowSpec describes the sliding evaluation windows.
+type WindowSpec struct {
+	Start  corpus.Month // first window start
+	Length int          // window length r in months
+	Slide  int          // slide granularity in months
+	Count  int          // number of windows l
+}
+
+// PaperWindows returns the paper's deployment: 13 windows of 12 months
+// sliding by 2 months, the first covering 2013-01..2014-01 and the last
+// 2015-01..2016-01.
+func PaperWindows() WindowSpec {
+	return WindowSpec{Start: corpus.MonthOf(2013, 1), Length: 12, Slide: 2, Count: 13}
+}
+
+func (w WindowSpec) validate() error {
+	if w.Length < 1 || w.Slide < 1 || w.Count < 1 {
+		return fmt.Errorf("recommend: invalid window spec %+v", w)
+	}
+	return nil
+}
+
+// SweepResult holds the per-threshold accuracy series of one model: the
+// paper's Figures 3-4 data. Slice index corresponds to Phi index.
+type SweepResult struct {
+	Model string
+	Phi   []float64
+
+	Precision []stats.CI // per-window means; NaN when no window retrieved anything
+	Recall    []stats.CI
+	F1        []stats.CI
+
+	// Mean per-window retrieval totals (the paper's Figure 4 series).
+	Retrieved          []stats.CI
+	CorrectlyRetrieved []stats.CI
+	Relevant           stats.CI // threshold-independent ground-truth size
+}
+
+// RowRecommender scores products for a specific company row, for models
+// whose predictions are positional rather than history-based (BPMF).
+type RowRecommender interface {
+	Name() string
+	// ScoresFor returns per-category scores for the company at index row of
+	// the corpus being evaluated, given its pre-window history.
+	ScoresFor(row int, history []int) []float64
+}
+
+// RowTrainFunc builds a RowRecommender per window.
+type RowTrainFunc func(train *corpus.Corpus, windowStart corpus.Month) (RowRecommender, error)
+
+// rowAdapter lifts a plain Recommender to the row-aware interface.
+type rowAdapter struct{ r Recommender }
+
+func (a rowAdapter) Name() string { return a.r.Name() }
+func (a rowAdapter) ScoresFor(_ int, history []int) []float64 {
+	return a.r.Scores(history)
+}
+
+// EvaluateSweep runs the sliding-window evaluation of one model over a
+// threshold grid. The corpus must carry full (untruncated) histories.
+func EvaluateSweep(c *corpus.Corpus, spec WindowSpec, phis []float64, train TrainFunc) (*SweepResult, error) {
+	return EvaluateSweepRows(c, spec, phis, func(tc *corpus.Corpus, start corpus.Month) (RowRecommender, error) {
+		r, err := train(tc, start)
+		if err != nil {
+			return nil, err
+		}
+		return rowAdapter{r}, nil
+	})
+}
+
+// EvaluateSweepRows is EvaluateSweep for row-aware models.
+func EvaluateSweepRows(c *corpus.Corpus, spec WindowSpec, phis []float64, train RowTrainFunc) (*SweepResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("recommend: empty threshold grid")
+	}
+	nPhi := len(phis)
+	// per-window accumulators, per phi
+	precision := make([][]float64, nPhi)
+	recall := make([][]float64, nPhi)
+	f1 := make([][]float64, nPhi)
+	retrieved := make([][]float64, nPhi)
+	correct := make([][]float64, nPhi)
+	var relevantSeries []float64
+	var modelName string
+
+	for w := 0; w < spec.Count; w++ {
+		start := spec.Start + corpus.Month(w*spec.Slide)
+		end := start + corpus.Month(spec.Length)
+		trainCorpus := c.TruncateBefore(start)
+		rec, err := train(trainCorpus, start)
+		if err != nil {
+			return nil, fmt.Errorf("recommend: training for window %v: %w", start, err)
+		}
+		modelName = rec.Name()
+
+		// per-phi counters for this window
+		ret := make([]int, nPhi)
+		cor := make([]int, nPhi)
+		rel := 0
+		for i := range c.Companies {
+			co := &c.Companies[i]
+			truth := co.AcquiredIn(start, end)
+			history := co.OwnedBefore(start)
+			rel += len(truth)
+			if len(truth) == 0 && len(history) == 0 {
+				continue
+			}
+			scores := rec.ScoresFor(i, history)
+			if len(scores) != c.M() {
+				return nil, fmt.Errorf("recommend: model %s returned %d scores, want %d", rec.Name(), len(scores), c.M())
+			}
+			owned := make(map[int]bool, len(history))
+			for _, a := range history {
+				owned[a] = true
+			}
+			truthSet := make(map[int]bool, len(truth))
+			for _, a := range truth {
+				truthSet[a] = true
+			}
+			for pi, phi := range phis {
+				for cat, s := range scores {
+					if owned[cat] || s < phi {
+						continue
+					}
+					ret[pi]++
+					if truthSet[cat] {
+						cor[pi]++
+					}
+				}
+			}
+		}
+		relevantSeries = append(relevantSeries, float64(rel))
+		for pi := range phis {
+			prf := stats.ComputePRF(ret[pi], cor[pi], rel)
+			if !math.IsNaN(prf.Precision) {
+				precision[pi] = append(precision[pi], prf.Precision)
+				f1[pi] = append(f1[pi], prf.F1)
+			}
+			recall[pi] = append(recall[pi], prf.Recall)
+			retrieved[pi] = append(retrieved[pi], float64(ret[pi]))
+			correct[pi] = append(correct[pi], float64(cor[pi]))
+		}
+	}
+
+	res := &SweepResult{Model: modelName, Phi: phis, Relevant: stats.MeanCI(relevantSeries)}
+	nanCI := stats.CI{Mean: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	for pi := range phis {
+		if len(precision[pi]) > 0 {
+			res.Precision = append(res.Precision, stats.MeanCI(precision[pi]))
+			res.F1 = append(res.F1, stats.MeanCI(f1[pi]))
+		} else {
+			res.Precision = append(res.Precision, nanCI)
+			res.F1 = append(res.F1, nanCI)
+		}
+		res.Recall = append(res.Recall, stats.MeanCI(recall[pi]))
+		res.Retrieved = append(res.Retrieved, stats.MeanCI(retrieved[pi]))
+		res.CorrectlyRetrieved = append(res.CorrectlyRetrieved, stats.MeanCI(correct[pi]))
+	}
+	return res, nil
+}
+
+// Static wraps a fixed scoring function as a Recommender.
+type Static struct {
+	Label string
+	Fn    func(history []int) []float64
+}
+
+// Name implements Recommender.
+func (s *Static) Name() string { return s.Label }
+
+// Scores implements Recommender.
+func (s *Static) Scores(history []int) []float64 { return s.Fn(history) }
+
+// Uniform returns the paper's random baseline: every category scored
+// 1/v (≈ 0.026 for v = 38), so it retrieves everything for phi <= 1/v and
+// nothing above.
+func Uniform(v int) Recommender {
+	return &Static{
+		Label: "random",
+		Fn: func([]int) []float64 {
+			out := make([]float64, v)
+			for i := range out {
+				out[i] = 1 / float64(v)
+			}
+			return out
+		},
+	}
+}
+
+// DefaultPhiGrid returns the paper's threshold grid for Figures 3-4:
+// 0.00, 0.05, ..., up to max inclusive.
+func DefaultPhiGrid(max float64) []float64 {
+	var out []float64
+	for phi := 0.0; phi <= max+1e-9; phi += 0.05 {
+		out = append(out, math.Round(phi*100)/100)
+	}
+	return out
+}

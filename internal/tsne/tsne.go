@@ -1,0 +1,232 @@
+// Package tsne implements exact t-distributed Stochastic Neighbor Embedding
+// (van der Maaten & Hinton 2008): perplexity-calibrated Gaussian input
+// affinities, Student-t output affinities, early exaggeration and
+// momentum gradient descent. The paper uses t-SNE to project the LDA product
+// embeddings (38 points in topic space) to 2-D (Figures 8-9); at that scale
+// the exact O(n²) algorithm is the right tool.
+package tsne
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a t-SNE run.
+type Config struct {
+	OutputDims int     // 0 selects 2
+	Perplexity float64 // effective neighbor count; 0 selects min(30, (n-1)/3)
+	Iterations int     // 0 selects 500
+	LearnRate  float64 // 0 selects 100
+	// EarlyExaggeration multiplies input affinities for the first quarter of
+	// the iterations. 0 selects 4.
+	EarlyExaggeration float64
+}
+
+func (c *Config) fillDefaults(n int) {
+	if c.OutputDims == 0 {
+		c.OutputDims = 2
+	}
+	if c.Perplexity == 0 {
+		c.Perplexity = math.Min(30, math.Max(2, float64(n-1)/3))
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 500
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 100
+	}
+	if c.EarlyExaggeration == 0 {
+		c.EarlyExaggeration = 4
+	}
+}
+
+// Embed projects the rows of x to Config.OutputDims dimensions.
+func Embed(x *mat.Matrix, cfg Config, g *rng.RNG) (*mat.Matrix, error) {
+	n := x.Rows
+	if n < 3 {
+		return nil, fmt.Errorf("tsne: need at least 3 points, got %d", n)
+	}
+	cfg.fillDefaults(n)
+	if cfg.Perplexity >= float64(n) {
+		return nil, fmt.Errorf("tsne: perplexity %v must be below n=%d", cfg.Perplexity, n)
+	}
+	if cfg.OutputDims < 1 || cfg.Iterations < 1 || cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("tsne: invalid config %+v", cfg)
+	}
+
+	p := inputAffinities(x, cfg.Perplexity)
+
+	// init
+	d := cfg.OutputDims
+	y := mat.New(n, d)
+	for i := range y.Data {
+		y.Data[i] = 1e-2 * g.Norm()
+	}
+	vel := mat.New(n, d)
+	grad := mat.New(n, d)
+	q := mat.New(n, n)
+	num := mat.New(n, n)
+
+	exagStop := cfg.Iterations / 4
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exag := 1.0
+		if iter < exagStop {
+			exag = cfg.EarlyExaggeration
+		}
+		// output affinities
+		var qSum float64
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			for j := i + 1; j < n; j++ {
+				nu := 1 / (1 + mat.SqDist(yi, y.Row(j)))
+				num.Set(i, j, nu)
+				num.Set(j, i, nu)
+				qSum += 2 * nu
+			}
+		}
+		if qSum < 1e-300 {
+			qSum = 1e-300
+		}
+		for i := range q.Data {
+			v := num.Data[i] / qSum
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			q.Data[i] = v
+		}
+		// gradient: 4 Σ_j (p_ij - q_ij) num_ij (y_i - y_j)
+		grad.Zero()
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			gi := grad.Row(i)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				mult := 4 * (exag*p.At(i, j) - q.At(i, j)) * num.At(i, j)
+				yj := y.Row(j)
+				for k := 0; k < d; k++ {
+					gi[k] += mult * (yi[k] - yj[k])
+				}
+			}
+		}
+		momentum := 0.5
+		if iter >= exagStop {
+			momentum = 0.8
+		}
+		for i := range y.Data {
+			vel.Data[i] = momentum*vel.Data[i] - cfg.LearnRate*grad.Data[i]
+			y.Data[i] += vel.Data[i]
+		}
+		// recentre
+		means := make([]float64, d)
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			for k := 0; k < d; k++ {
+				means[k] += row[k]
+			}
+		}
+		for k := range means {
+			means[k] /= float64(n)
+		}
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			for k := 0; k < d; k++ {
+				row[k] -= means[k]
+			}
+		}
+	}
+	return y, nil
+}
+
+// inputAffinities computes the symmetrized input probability matrix P with
+// per-point bandwidths calibrated to the target perplexity by bisection.
+func inputAffinities(x *mat.Matrix, perplexity float64) *mat.Matrix {
+	n := x.Rows
+	d2 := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			dist := mat.SqDist(xi, x.Row(j))
+			d2.Set(i, j, dist)
+			d2.Set(j, i, dist)
+		}
+	}
+	target := math.Log(perplexity)
+	p := mat.New(n, n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// bisection on beta = 1/(2 sigma^2)
+		betaLo, betaHi := 0.0, math.Inf(1)
+		beta := 1.0
+		for it := 0; it < 64; it++ {
+			var sum, hSum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				v := math.Exp(-beta * d2.At(i, j))
+				row[j] = v
+				sum += v
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			// Shannon entropy H = log(sum) + beta * E[d²]
+			for j := 0; j < n; j++ {
+				if j != i && row[j] > 0 {
+					hSum += row[j] * d2.At(i, j)
+				}
+			}
+			h := math.Log(sum) + beta*hSum/sum
+			diff := h - target
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high -> sharpen
+				betaLo = beta
+				if math.IsInf(betaHi, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaHi) / 2
+				}
+			} else {
+				betaHi = beta
+				if betaLo == 0 {
+					beta /= 2
+				} else {
+					beta = (beta + betaLo) / 2
+				}
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		if sum < 1e-300 {
+			sum = 1e-300
+		}
+		for j := 0; j < n; j++ {
+			p.Set(i, j, row[j]/sum)
+		}
+	}
+	// symmetrize: p_ij = (p_j|i + p_i|j) / 2n, floored
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := (p.At(i, j) + p.At(j, i)) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// clusters builds two tight groups of points in high dimension.
+func clusters(g *rng.RNG) (*mat.Matrix, []int) {
+	n, d := 30, 8
+	x := mat.New(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		base := 0.0
+		if i >= n/2 {
+			base = 12
+			labels[i] = 1
+		}
+		row := x.Row(i)
+		for k := range row {
+			row[k] = base + 0.5*g.Norm()
+		}
+	}
+	return x, labels
+}
+
+func TestValidation(t *testing.T) {
+	g := rng.New(1)
+	if _, err := Embed(mat.New(2, 3), Config{}, g); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := Embed(mat.New(10, 3), Config{Perplexity: 50}, g); err == nil {
+		t.Fatal("perplexity >= n accepted")
+	}
+	if _, err := Embed(mat.New(10, 3), Config{LearnRate: -1}, g); err == nil {
+		t.Fatal("negative learn rate accepted")
+	}
+}
+
+func TestOutputShapeAndFiniteness(t *testing.T) {
+	g := rng.New(3)
+	x, _ := clusters(g)
+	y, err := Embed(x, Config{Iterations: 200}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 30 || y.Cols != 2 {
+		t.Fatalf("shape %dx%d", y.Rows, y.Cols)
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite embedding value %v", v)
+		}
+	}
+}
+
+func TestSeparatesClusters(t *testing.T) {
+	g := rng.New(5)
+	x, labels := clusters(g)
+	y, err := Embed(x, Config{Iterations: 400, Perplexity: 8}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean within-cluster distance must be well below between-cluster distance
+	var within, between float64
+	var nw, nb int
+	for i := 0; i < y.Rows; i++ {
+		for j := i + 1; j < y.Rows; j++ {
+			d := math.Sqrt(mat.SqDist(y.Row(i), y.Row(j)))
+			if labels[i] == labels[j] {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if between < 2*within {
+		t.Fatalf("clusters not separated: within %v, between %v", within, between)
+	}
+}
+
+func TestPreservesNeighborhoods(t *testing.T) {
+	// Points on a line: nearest neighbors in input should mostly remain
+	// neighbors in the embedding.
+	g := rng.New(7)
+	n := 20
+	x := mat.New(n, 5)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for k := range row {
+			row[k] = float64(i) * 2
+		}
+		row[0] += 0.1 * g.Norm()
+	}
+	y, err := Embed(x, Config{Iterations: 400, Perplexity: 4}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For interior points, at least one of the two line-neighbors must be
+	// among the 3 nearest embedded neighbors.
+	hits := 0
+	for i := 2; i < n-2; i++ {
+		type nd struct {
+			j int
+			d float64
+		}
+		var ds []nd
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			ds = append(ds, nd{j, mat.SqDist(y.Row(i), y.Row(j))})
+		}
+		for a := 1; a < len(ds); a++ {
+			for b := a; b > 0 && ds[b].d < ds[b-1].d; b-- {
+				ds[b], ds[b-1] = ds[b-1], ds[b]
+			}
+		}
+		for _, cand := range ds[:3] {
+			if cand.j == i-1 || cand.j == i+1 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < (n-4)*3/4 {
+		t.Fatalf("neighborhoods destroyed: only %d/%d interior points kept a line neighbor", hits, n-4)
+	}
+}
+
+func TestCentered(t *testing.T) {
+	g := rng.New(9)
+	x, _ := clusters(g)
+	y, err := Embed(x, Config{Iterations: 150}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < y.Cols; k++ {
+		var s float64
+		for i := 0; i < y.Rows; i++ {
+			s += y.At(i, k)
+		}
+		if math.Abs(s/float64(y.Rows)) > 1e-9 {
+			t.Fatalf("embedding not centered in dim %d: mean %v", k, s/float64(y.Rows))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	x, _ := clusters(rng.New(11))
+	y1, err := Embed(x, Config{Iterations: 100}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := Embed(x, Config{Iterations: 100}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(y1, y2, 0) {
+		t.Fatal("t-SNE not deterministic under identical seeds")
+	}
+}
+
+func TestDuplicatePointsTolerated(t *testing.T) {
+	g := rng.New(13)
+	x := mat.New(10, 3)
+	for i := 0; i < 10; i++ {
+		row := x.Row(i)
+		for k := range row {
+			row[k] = float64(i / 2) // pairs of identical points
+		}
+	}
+	y, err := Embed(x, Config{Iterations: 150, Perplexity: 3}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN with duplicate points")
+		}
+	}
+}
+
+func TestThreeDimensionalOutput(t *testing.T) {
+	g := rng.New(15)
+	x, _ := clusters(g)
+	y, err := Embed(x, Config{OutputDims: 3, Iterations: 100}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Cols != 3 {
+		t.Fatalf("cols = %d", y.Cols)
+	}
+}
