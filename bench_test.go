@@ -15,6 +15,7 @@ import (
 	"repro/internal/lda"
 	"repro/internal/lstm"
 	"repro/internal/ngram"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -349,5 +350,58 @@ func BenchmarkAggregation(b *testing.B) {
 		if len(agg) != 500 {
 			b.Fatal("bad aggregation")
 		}
+	}
+}
+
+// BenchmarkObsCounterInc measures the hot-path cost of one counter
+// increment — the overhead every instrumented training sweep pays.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkObsHistogramObserve measures one latency observation into the
+// default bucket layout (the topk_latency_seconds path).
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0
+		for pb.Next() {
+			h.Observe(v)
+			v += 1e-5
+			if v > 10 {
+				v = 0
+			}
+		}
+	})
+}
+
+// BenchmarkObsSpanDisabled measures the fast path instrumentation takes when
+// span capture is switched off: Start must not allocate and End must be a
+// nil-check only.
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	r := obs.NewRegistry()
+	r.SetSpansEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("bench.disabled")
+		sp.End()
+	}
+}
+
+// BenchmarkObsSpanEnabled is the enabled counterpart: one Start/End pair
+// including the histogram observation it feeds.
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	r := obs.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("bench.enabled")
+		sp.End()
 	}
 }

@@ -20,22 +20,33 @@
 //
 // Sizing: -scale quick|standard, overridable with -companies and -seed.
 // A corpus can also be supplied with -corpus file.jsonl.
+//
+// Observability: -debug-addr serves /metrics, /metrics.json, /debug/vars and
+// /debug/pprof while experiments run; -progress logs one line per
+// experiment; -metrics-out writes a final JSON metrics snapshot so benchmark
+// runs leave a machine-readable trace next to their outputs.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ibeval: ")
 	var (
 		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|seqtest|cocluster|all")
 		scaleName  = flag.String("scale", "quick", "experiment scale: quick | standard")
@@ -44,11 +55,18 @@ func main() {
 		corpusPath = flag.String("corpus", "", "evaluate on an existing JSONL corpus instead of generating one")
 		timing     = flag.Bool("time", true, "print wall-clock time per experiment")
 		svgDir     = flag.String("svgdir", "", "also write each figure as an SVG chart into this directory")
+		metricsOut = flag.String("metrics-out", "", "write a final JSON metrics snapshot to this path")
 	)
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	var stopDebug func()
+	logger, stopDebug = obsFlags.Init("ibeval")
+	defer stopDebug()
+
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	writeSVG := func(name, svg string) {
@@ -56,7 +74,7 @@ func main() {
 			return
 		}
 		if err := eval.WriteFigureSVG(*svgDir, name, svg); err != nil {
-			log.Fatalf("writing %s: %v", name, err)
+			fatal(fmt.Errorf("writing %s: %w", name, err))
 		}
 	}
 
@@ -67,7 +85,7 @@ func main() {
 	case "standard":
 		scale = eval.Standard()
 	default:
-		log.Fatalf("unknown scale %q", *scaleName)
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
 	if *companies > 0 {
 		scale.Companies = *companies
@@ -87,7 +105,7 @@ func main() {
 		ctx, err = eval.NewContext(scale)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("corpus: %d companies, %d categories, density %.3f (scale %s, seed %d)\n\n",
 		ctx.Corpus.N(), ctx.Corpus.M(), ctx.Corpus.Density(), *scaleName, scale.Seed)
@@ -97,10 +115,16 @@ func main() {
 			!(name == "fig3" && *exp == "fig4") {
 			return
 		}
+		if obsFlags.Progress {
+			logger.Info("experiment starting", "name", name)
+		}
 		start := time.Now()
 		out, err := fn()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if obsFlags.Progress {
+			logger.Info("experiment done", "name", name, "elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
 		fmt.Print(out)
 		if *timing {
@@ -233,5 +257,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
+	}
+
+	if *metricsOut != "" {
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		logger.Info("metrics snapshot written", "path", *metricsOut)
 	}
 }

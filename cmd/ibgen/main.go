@@ -6,21 +6,35 @@
 //
 //	ibgen -companies 10000 -seed 1 -out corpus.jsonl
 //	ibgen -companies 500 -sites -out sites.jsonl   # raw pre-aggregation records
+//
+// Observability: -debug-addr serves /metrics, /metrics.json, /debug/vars and
+// /debug/pprof while generation runs; -progress logs a line every few
+// thousand companies during streaming generation.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 )
 
+// progressEvery is how many companies pass between -progress log lines.
+const progressEvery = 5000
+
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ibgen: ")
 	var (
 		companies = flag.Int("companies", 10000, "number of companies to generate")
 		seed      = flag.Int64("seed", 1, "generator seed (same seed+size => identical corpus)")
@@ -28,22 +42,29 @@ func main() {
 		sites     = flag.Bool("sites", false, "emit raw per-site records and aggregate them first (exercises the D-U-N-S pipeline)")
 		stats     = flag.Bool("stats", true, "print corpus statistics")
 	)
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	var stopDebug func()
+	logger, stopDebug = obsFlags.Init("ibgen")
+	defer stopDebug()
+
+	sp := obs.Start("ibgen.generate")
 	gen, err := datagen.NewGenerator(datagen.DefaultConfig(*companies, *seed))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *sites {
 		records := gen.GenerateSites()
 		fmt.Fprintf(os.Stderr, "generated %d site records; aggregating by domestic D-U-N-S\n", len(records))
 		c := corpus.New(gen.Catalog, corpus.AggregateDomestic(records))
 		if err := c.Validate(); err != nil {
-			log.Fatalf("generated corpus failed validation: %v", err)
+			fatal(fmt.Errorf("generated corpus failed validation: %w", err))
 		}
 		if err := c.SaveFile(*out); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
+		sp.End()
 		if *stats {
 			fmt.Printf("wrote %s: %d companies, %d categories, %d acquisitions, density %.3f\n",
 				*out, c.N(), c.M(), c.TotalAcquisitions(), c.Density())
@@ -55,26 +76,38 @@ func main() {
 	// 860k-company scale runs in bounded memory.
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer f.Close()
 	jw, err := corpus.NewJSONLWriter(f, gen.Catalog)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	var total int
+	var total, written int
+	start := time.Now()
 	if err := gen.Each(func(co corpus.Company) error {
 		total += len(co.Acquisitions)
+		written++
+		if obsFlags.Progress && written%progressEvery == 0 {
+			elapsed := time.Since(start).Seconds()
+			rate := float64(written)
+			if elapsed > 0 {
+				rate = float64(written) / elapsed
+			}
+			logger.Info("generating", "companies", written, "total", *companies,
+				"acquisitions", total, "companies_per_sec", rate)
+		}
 		return jw.Write(&co)
 	}); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := jw.Flush(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	sp.End()
 	if *stats {
 		fmt.Printf("wrote %s: %d companies, %d categories, %d acquisitions, density %.3f\n",
 			*out, *companies, gen.Catalog.Size(), total,

@@ -9,19 +9,38 @@
 //	ibrec -corpus corpus.jsonl -company 42 -recommend -peers 25
 //	ibrec -corpus corpus.jsonl -clients 1,2,3 -whitespace -k 10 -country US
 //	ibrec -corpus corpus.jsonl -company 42 -sic2 80 -min-employees 100
+//
+// Observability: -debug-addr serves /metrics (including the
+// topk_latency_seconds histogram and filter-selectivity counters populated
+// by the query paths), /metrics.json, /debug/vars and /debug/pprof;
+// -progress logs per-sweep LDA training lines when the model is trained on
+// the fly.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	hiddenlayer "repro"
 	"repro/internal/lda"
+	"repro/internal/obs"
 )
+
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
+func fatalMsg(msg string) {
+	logger.Error(msg)
+	os.Exit(1)
+}
 
 // loadLDA reads a gob-encoded LDA model written by ibtrain.
 func loadLDA(path string) (*hiddenlayer.LDAModel, error) {
@@ -34,8 +53,6 @@ func loadLDA(path string) (*hiddenlayer.LDAModel, error) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ibrec: ")
 	var (
 		corpusPath = flag.String("corpus", "corpus.jsonl", "corpus JSONL path")
 		modelPath  = flag.String("model", "", "optional pre-trained LDA model (gob); trained on the fly when empty")
@@ -54,23 +71,32 @@ func main() {
 		fMinRev = flag.Float64("min-revenue", 0, "filter: minimum revenue (M USD)")
 		fMaxRev = flag.Float64("max-revenue", 0, "filter: maximum revenue (M USD)")
 	)
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	var stopDebug func()
+	logger, stopDebug = obsFlags.Init("ibrec")
+	defer stopDebug()
+	var progress obs.Progress
+	if obsFlags.Progress {
+		progress = obs.SlogProgress(logger)
+	}
 
 	c, err := hiddenlayer.LoadCorpus(*corpusPath)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var model *hiddenlayer.LDAModel
 	if *modelPath != "" {
 		model, err = loadLDA(*modelPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else {
 		fmt.Println("selecting LDA model by validation perplexity (topics 2, 3, 4)...")
-		sel, err := hiddenlayer.SelectLDA(c, []int{2, 3, 4}, *seed)
+		sel, err := hiddenlayer.SelectLDAWithProgress(c, []int{2, 3, 4}, *seed, progress)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, tp := range sel.Curve {
 			fmt.Printf("  %d topics: perplexity %.2f\n", tp.Topics, tp.Perplexity)
@@ -80,7 +106,7 @@ func main() {
 	}
 	sys, err := hiddenlayer.NewSystem(c, model, *seed+1)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	filter := hiddenlayer.Filter{
 		SIC2: *fSIC2, Country: *fCty,
@@ -98,11 +124,11 @@ func main() {
 	case *doWS:
 		ids, err := parseIDs(*clients)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		prospects, err := sys.Whitespace(ids, *k, filter)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("\ntop %d white-space prospects for %d clients:\n", len(prospects), len(ids))
 		for _, p := range prospects {
@@ -111,11 +137,11 @@ func main() {
 		}
 	case *doRec:
 		if *companyID < 0 {
-			log.Fatal("-recommend requires -company")
+			fatalMsg("-recommend requires -company")
 		}
 		recs, err := sys.RecommendProducts(*companyID, *peers, filter)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("\nproduct recommendations for %s (from %d peers):\n", describe(*companyID), *peers)
 		shown := 0
@@ -128,11 +154,11 @@ func main() {
 		}
 	default:
 		if *companyID < 0 {
-			log.Fatal("need -company, -recommend or -whitespace")
+			fatalMsg("need -company, -recommend or -whitespace")
 		}
 		matches, err := sys.SimilarCompanies(*companyID, *k, filter)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("\ntop %d companies similar to %s:\n", len(matches), describe(*companyID))
 		for _, m := range matches {

@@ -11,12 +11,18 @@
 //
 // Every model prints its held-out perplexity (where defined) on a 70/10/20
 // split so runs are comparable with the paper's Table 1.
+//
+// Observability: -debug-addr serves /metrics (Prometheus text format),
+// /metrics.json, /debug/vars and /debug/pprof on a side listener while
+// training runs; -progress logs one structured line per training iteration;
+// -metrics-out writes a final JSON metrics snapshot next to the model so
+// benchmark runs leave a machine-readable trace.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"repro/internal/bpmf"
@@ -25,12 +31,18 @@ import (
 	"repro/internal/lda"
 	"repro/internal/lstm"
 	"repro/internal/ngram"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ibtrain: ")
 	var (
 		model      = flag.String("model", "lda", "model family: lda | lstm | ngram | chh | bpmf")
 		corpusPath = flag.String("corpus", "corpus.jsonl", "input corpus (JSONL)")
@@ -48,22 +60,45 @@ func main() {
 		order = flag.Int("order", 2, "ngram: model order (1-3)")
 		depth = flag.Int("depth", 2, "chh: context depth (1-2)")
 		rank  = flag.Int("rank", 8, "bpmf: latent rank")
+
+		metricsOut = flag.String("metrics-out", "", "write a final JSON metrics snapshot to this path")
 	)
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	var stopDebug func()
+	logger, stopDebug = obsFlags.Init("ibtrain")
+	defer stopDebug()
+
+	// Validate the model name before touching the corpus, so a typo fails
+	// fast instead of after a potentially slow JSONL load.
+	switch *model {
+	case "lda", "lstm", "ngram", "chh", "bpmf":
+	default:
+		fmt.Fprintf(os.Stderr, "ibtrain: unknown model %q (want lda|lstm|ngram|chh|bpmf)\n", *model)
+		fmt.Fprintln(os.Stderr, "usage: ibtrain -model lda|lstm|ngram|chh|bpmf [flags]; run with -help for the full flag list")
+		os.Exit(2)
+	}
+
+	var progress obs.Progress
+	if obsFlags.Progress {
+		progress = obs.SlogProgress(logger)
+	}
 
 	c, err := corpus.LoadFile(*corpusPath)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	logger.Debug("corpus loaded", "path", *corpusPath, "companies", c.N(), "categories", c.M())
 	g := rng.New(*seed)
 	split, err := corpus.PaperSplit(c, g)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer f.Close()
 
@@ -73,22 +108,22 @@ func main() {
 		if *tfidf {
 			weights = tfidfWeights(split.Train)
 		}
-		m, err := lda.Train(lda.Config{Topics: *topics, V: c.M()}, split.Train.Sets(), weights, g)
+		m, err := lda.Train(lda.Config{Topics: *topics, V: c.M(), Progress: progress}, split.Train.Sets(), weights, g)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("LDA%d test perplexity: %.2f (parameters: %d)\n",
 			*topics, m.Perplexity(split.Test.Sets(), g), m.ParameterCount())
 		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case "lstm":
 		m, stats, err := lstm.Train(lstm.Config{
 			V: c.M(), Layers: *layers, Hidden: *hidden,
-			Dropout: *dropout, Epochs: *epochs,
+			Dropout: *dropout, Epochs: *epochs, Progress: progress,
 		}, split.Train.Sequences(), split.Valid.Sequences(), g)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for e, p := range stats.ValidPerpl {
 			fmt.Printf("epoch %2d: train NLL %.3f, valid perplexity %.2f\n", e+1, stats.TrainLoss[e], p)
@@ -96,27 +131,27 @@ func main() {
 		fmt.Printf("LSTM %dx%d test perplexity: %.2f (parameters: %d)\n",
 			*layers, *hidden, m.Perplexity(split.Test.Sequences()), m.ParameterCount())
 		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case "ngram":
 		m, err := ngram.New(ngram.Config{Order: *order, V: c.M()})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := m.Fit(split.Train.Sequences()); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("%d-gram test perplexity: %.2f\n", *order, m.Perplexity(split.Test.Sequences()))
 		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case "chh":
 		m, err := chh.NewExact(c.M(), *depth)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := m.Fit(split.Train.Sequences()); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		hh := m.HeavyHitters(0.2, 50)
 		fmt.Printf("CHH depth %d: %d heavy hitters at phi=0.2, support>=50\n", *depth, len(hh))
@@ -128,7 +163,7 @@ func main() {
 				names(c, h.Context), c.Catalog.Name(h.Item), h.Prob, h.Support)
 		}
 		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case "bpmf":
 		var ratings []bpmf.Rating
@@ -137,21 +172,25 @@ func main() {
 				ratings = append(ratings, bpmf.Rating{User: i, Item: a.Category, Value: 1})
 			}
 		}
-		m, err := bpmf.Train(bpmf.Config{Rank: *rank, Alpha: 25}, split.Train.N(), c.M(), ratings, g)
+		m, err := bpmf.Train(bpmf.Config{Rank: *rank, Alpha: 25, Progress: progress}, split.Train.N(), c.M(), ratings, g)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("BPMF rank %d: train RMSE %.3f\n", *rank, m.RMSE(ratings))
 		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-	default:
-		log.Fatalf("unknown model %q (want lda|lstm|ngram|chh|bpmf)", *model)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("model written to %s\n", *out)
+	if *metricsOut != "" {
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		logger.Info("metrics snapshot written", "path", *metricsOut)
+	}
 }
 
 func names(c *corpus.Corpus, cats []int) []string {

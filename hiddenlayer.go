@@ -23,6 +23,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/datagen"
 	"repro/internal/lda"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -44,7 +45,21 @@ type (
 	WhitespaceProspect = core.WhitespaceProspect
 	// LDAModel is a trained Latent Dirichlet Allocation model.
 	LDAModel = lda.Model
+	// MetricsSnapshot is a point-in-time copy of the process-wide
+	// observability registry: every counter, gauge and histogram (with
+	// quantile estimates) the instrumented training loops and query paths
+	// have reported.
+	MetricsSnapshot = obs.Snapshot
+	// TrainingProgress is the per-iteration training callback carried by
+	// the model Configs (iteration number, loss, tokens per second).
+	TrainingProgress = obs.Progress
 )
+
+// SystemStats snapshots the process-wide metrics registry — training
+// iteration counters, top-k latency histograms, filter selectivity and
+// recommendation fan-out — so embedding applications can export or assert on
+// them without running the -debug-addr HTTP listener.
+func SystemStats() MetricsSnapshot { return obs.Default().Snapshot() }
 
 // GenerateCorpus synthesizes an install-base corpus with the statistical
 // structure of the paper's (proprietary) HG Data corpus: latent IT-profile
@@ -79,6 +94,13 @@ type ModelSelection struct {
 // retrained parameters intact (the paper selects 2-4 topics this way).
 // A nil or empty grid selects the paper's sweep {2,3,4,6,8,10,12,14,16}.
 func SelectLDA(c *Corpus, grid []int, seed int64) (*ModelSelection, error) {
+	return SelectLDAWithProgress(c, grid, seed, nil)
+}
+
+// SelectLDAWithProgress is SelectLDA with a per-sweep training progress hook
+// installed in every candidate model's Config (nil behaves exactly like
+// SelectLDA: same split, same RNG stream, bit-identical models).
+func SelectLDAWithProgress(c *Corpus, grid []int, seed int64, progress TrainingProgress) (*ModelSelection, error) {
 	if len(grid) == 0 {
 		grid = []int{2, 3, 4, 6, 8, 10, 12, 14, 16}
 	}
@@ -95,7 +117,7 @@ func SelectLDA(c *Corpus, grid []int, seed int64) (*ModelSelection, error) {
 		if k < 1 {
 			return nil, fmt.Errorf("hiddenlayer: invalid topic count %d", k)
 		}
-		m, err := lda.Train(lda.Config{Topics: k, V: c.M()}, trainDocs, nil, g.Split())
+		m, err := lda.Train(lda.Config{Topics: k, V: c.M(), Progress: progress}, trainDocs, nil, g.Split())
 		if err != nil {
 			return nil, err
 		}

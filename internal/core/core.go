@@ -9,9 +9,34 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// Serving-path metrics. Candidate counters are accumulated locally per query
+// and added once, so the per-candidate hot loop carries no atomic traffic.
+var (
+	topkLatency = obs.Default().Histogram("topk_latency_seconds",
+		"end-to-end latency of similarity top-k queries", obs.DefBuckets)
+	topkRequests = obs.Default().Counter("topk_requests_total",
+		"similarity top-k queries served")
+	topkAdmitted = obs.Default().Counter("topk_candidates_admitted_total",
+		"candidate companies that passed the business filter during top-k scans")
+	topkFiltered = obs.Default().Counter("topk_candidates_filtered_total",
+		"candidate companies rejected by the business filter during top-k scans")
+	recRequests = obs.Default().Counter("recommend_requests_total",
+		"gap-based product recommendation queries served")
+	recFanout = obs.Default().Histogram("recommend_fanout_products",
+		"number of recommended product categories per recommendation query", obs.SizeBuckets)
+	wsLatency = obs.Default().Histogram("whitespace_latency_seconds",
+		"end-to-end latency of white-space prospect queries", obs.DefBuckets)
+	wsRequests = obs.Default().Counter("whitespace_requests_total",
+		"white-space prospect queries served")
+	indexCompanies = obs.Default().Gauge("index_companies",
+		"companies in the most recently built similarity index")
 )
 
 // Metric selects the vector distance used for company similarity.
@@ -89,6 +114,7 @@ func NewIndex(c *corpus.Corpus, reps *mat.Matrix, metric Metric) (*Index, error)
 	if reps.Cols < 1 {
 		return nil, fmt.Errorf("core: empty representations")
 	}
+	indexCompanies.Set(float64(c.N()))
 	return &Index{Corpus: c, Reps: reps, Metric: metric}, nil
 }
 
@@ -125,13 +151,22 @@ func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	start := time.Now()
+	var rejected uint64
 	matches := make([]Match, 0, ix.Corpus.N())
 	for i := range ix.Corpus.Companies {
-		if i == exclude || !f.Admits(&ix.Corpus.Companies[i]) {
+		if i == exclude {
+			continue
+		}
+		if !f.Admits(&ix.Corpus.Companies[i]) {
+			rejected++
 			continue
 		}
 		matches = append(matches, Match{CompanyID: i, Similarity: ix.similarity(query, ix.Reps.Row(i))})
 	}
+	topkRequests.Inc()
+	topkAdmitted.Add(uint64(len(matches)))
+	topkFiltered.Add(rejected)
 	sort.Slice(matches, func(a, b int) bool {
 		if matches[a].Similarity != matches[b].Similarity {
 			return matches[a].Similarity > matches[b].Similarity
@@ -141,6 +176,7 @@ func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]
 	if len(matches) > k {
 		matches = matches[:k]
 	}
+	topkLatency.Observe(time.Since(start).Seconds())
 	return matches, nil
 }
 
@@ -205,6 +241,8 @@ func (ix *Index) RecommendFromSimilar(id, k int, f Filter) ([]ProductRecommendat
 		}
 		return out[a].Category < out[b].Category
 	})
+	recRequests.Inc()
+	recFanout.Observe(float64(len(out)))
 	return out, nil
 }
 
@@ -228,6 +266,11 @@ func (ix *Index) Whitespace(clientIDs []int, k int, f Filter) ([]WhitespaceProsp
 	if len(clientIDs) == 0 {
 		return nil, fmt.Errorf("core: empty client set")
 	}
+	start := time.Now()
+	defer func() {
+		wsRequests.Inc()
+		wsLatency.Observe(time.Since(start).Seconds())
+	}()
 	isClient := make(map[int]bool, len(clientIDs))
 	for _, id := range clientIDs {
 		if id < 0 || id >= ix.Corpus.N() {

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"bytes"
+	"strings"
+
 	"math"
 	"testing"
 
 	"repro/internal/corpus"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // fixture: 6 companies with 3-dimensional topic representations forming two
@@ -239,6 +243,53 @@ func TestFilterAdmitsZeroValues(t *testing.T) {
 	for i := range c.Companies {
 		if !f.Admits(&c.Companies[i]) {
 			t.Fatal("empty filter must admit everything")
+		}
+	}
+}
+
+// TestQueryMetricsExposed runs each query path and checks the default
+// registry's Prometheus exposition carries the serving-path series.
+func TestQueryMetricsExposed(t *testing.T) {
+	c, reps := fixture()
+	ix, err := NewIndex(c, reps, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req0 := obs.Default().Counter("topk_requests_total", "").Value()
+	lat0 := obs.Default().Histogram("topk_latency_seconds", "", nil).Count()
+	if _, err := ix.TopK(0, 3, Filter{Country: "US"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.RecommendFromSimilar(0, 3, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Whitespace([]int{0}, 3, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default().Counter("topk_requests_total", "").Value(); got <= req0 {
+		t.Fatalf("topk_requests_total did not advance (%d -> %d)", req0, got)
+	}
+	if got := obs.Default().Histogram("topk_latency_seconds", "", nil).Count(); got <= lat0 {
+		t.Fatalf("topk_latency_seconds count did not advance (%d -> %d)", lat0, got)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"# TYPE topk_latency_seconds histogram",
+		"topk_latency_seconds_bucket{le=\"+Inf\"}",
+		"# TYPE topk_requests_total counter",
+		"topk_candidates_admitted_total",
+		"topk_candidates_filtered_total",
+		"# TYPE recommend_fanout_products histogram",
+		"whitespace_latency_seconds_sum",
+		"# TYPE index_companies gauge",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics exposition missing %q", name)
 		}
 	}
 }

@@ -9,7 +9,13 @@ import (
 	"repro/internal/lda"
 	"repro/internal/lstm"
 	"repro/internal/ngram"
+	"repro/internal/obs"
 )
+
+// evalRuns counts perplexity-driver executions; each driver also times
+// itself into an eval_<name>_seconds span histogram.
+var evalRuns = obs.Default().Counter("eval_experiments_total",
+	"perplexity experiment driver executions")
 
 // SeqTestResult reproduces the sequentiality analysis quoted in Section 5:
 // the paper reports 69% of bigrams and 43% of trigrams significantly more
@@ -20,6 +26,8 @@ type SeqTestResult struct {
 
 // RunSequentialityTest runs the binomial n-gram test on the full corpus.
 func RunSequentialityTest(ctx *Context) SeqTestResult {
+	defer obs.Start("eval.seqtest").End()
+	evalRuns.Inc()
 	return SeqTestResult{
 		Report: ngram.TestSequentiality(ctx.Corpus.Sequences(), ctx.Corpus.M(), ctx.Scale.Alpha),
 	}
@@ -40,6 +48,8 @@ type Figure2Result struct {
 // scale's grid, with both input variants, and evaluates fold-in perplexity
 // on the test split.
 func RunFigure2(ctx *Context) (*Figure2Result, error) {
+	defer obs.Start("eval.figure2").End()
+	evalRuns.Inc()
 	trainDocs := ctx.Split.Train.Sets()
 	testDocs := ctx.Split.Test.Sets()
 	weights := tfidfWeights(ctx.Split.Train)
@@ -114,6 +124,8 @@ type Figure1Result struct {
 // RunFigure1 trains the paper's LSTM architecture grid on the time-ordered
 // training sequences and evaluates perplexity on the test split.
 func RunFigure1(ctx *Context) (*Figure1Result, error) {
+	defer obs.Start("eval.figure1").End()
+	evalRuns.Inc()
 	trainSeqs := nonEmpty(ctx.Split.Train.Sequences())
 	if cap := ctx.Scale.LSTMTrainCap; cap > 0 && len(trainSeqs) > cap {
 		trainSeqs = trainSeqs[:cap]
@@ -178,6 +190,8 @@ type Table1Result struct {
 // (binary input), the LSTM architecture grid, interpolated bi-/trigram
 // models, and the unigram bag-of-words baseline.
 func RunTable1(ctx *Context) (*Table1Result, error) {
+	defer obs.Start("eval.table1").End()
+	evalRuns.Inc()
 	fig2, err := RunFigure2(ctx)
 	if err != nil {
 		return nil, err

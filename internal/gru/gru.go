@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	LearnRate float64 // Adam; 0 selects 3e-3
 	ClipNorm  float64 // 0 selects 5
 	InitScale float64 // 0 selects 0.08
+
+	// Progress, when non-nil, is invoked after every epoch with the mean
+	// per-token training NLL and token throughput. The hook never touches
+	// the training RNG, so models are bit-identical with and without it.
+	Progress obs.Progress
 }
 
 func (c *Config) fillDefaults() {

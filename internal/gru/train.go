@@ -3,9 +3,18 @@ package gru
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+var (
+	trainEpochs = obs.Default().Counter("gru_train_epochs_total",
+		"training epochs completed across all GRU runs")
+	trainTokens = obs.Default().Counter("gru_train_tokens_total",
+		"tokens processed by BPTT across all GRU runs")
 )
 
 // TrainStats records the learning curve.
@@ -129,6 +138,7 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 		opt[fmt.Sprintf("b%d", l)] = newAdam(len(gr.cells[l].b))
 	}
 
+	sp := obs.Start("gru.train")
 	stats := TrainStats{}
 	order := make([]int, len(train))
 	for i := range order {
@@ -136,6 +146,10 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 	}
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if cfg.Progress != nil {
+			epochStart = time.Now()
+		}
 		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var lossSum float64
 		var lossTokens int
@@ -167,7 +181,25 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 		if len(valid) > 0 {
 			stats.ValidPerpl = append(stats.ValidPerpl, model.Perplexity(valid))
 		}
+		trainEpochs.Inc()
+		trainTokens.Add(uint64(lossTokens))
+		if cfg.Progress != nil {
+			elapsed := time.Since(epochStart).Seconds()
+			tps := math.Inf(1)
+			if elapsed > 0 {
+				tps = float64(lossTokens) / elapsed
+			}
+			meanNLL := math.NaN()
+			if lossTokens > 0 {
+				meanNLL = lossSum / float64(lossTokens)
+			}
+			cfg.Progress(obs.ProgressEvent{
+				Model: "gru", Iteration: epoch + 1, Total: cfg.Epochs,
+				Loss: meanNLL, TokensPerSec: tps,
+			})
+		}
 	}
+	sp.End()
 	return model, stats, nil
 }
 

@@ -12,9 +12,20 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+var (
+	trainRuns = obs.Default().Counter("lda_train_runs_total",
+		"completed lda.Train calls")
+	trainIterations = obs.Default().Counter("lda_train_iterations_total",
+		"collapsed-Gibbs sweeps completed across all LDA training runs")
+	trainTokens = obs.Default().Counter("lda_train_tokens_total",
+		"token-topic assignments resampled across all LDA training runs")
 )
 
 // Config parameterizes LDA training.
@@ -35,6 +46,13 @@ type Config struct {
 	// InferIterations controls fold-in inference on held-out documents
 	// (burn-in half, averaging half). Zero selects 30.
 	InferIterations int
+
+	// Progress, when non-nil, is invoked after every Gibbs sweep with the
+	// sweep number, the in-sample log-likelihood under the current count
+	// estimates, and token throughput. The hook is outside the sampler's
+	// random-number stream, so trained models are bit-identical with and
+	// without it.
+	Progress obs.Progress
 }
 
 func (c *Config) fillDefaults() {
@@ -141,11 +159,42 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 		ndz.Data[t.doc*k+t.topic] += t.weight
 	}
 
+	sp := obs.Start("lda.train")
+	// The progress hook's in-sample log-likelihood reads the current count
+	// matrices only — no random draws — so installing a hook never perturbs
+	// the sampler's stream. Both the per-document weight totals and the
+	// scan are skipped entirely when the hook is unset.
+	var logLik func() float64
+	if cfg.Progress != nil {
+		docW := make([]float64, len(docs))
+		for i := range tokens {
+			docW[tokens[i].doc] += tokens[i].weight
+		}
+		logLik = func() float64 {
+			var ll float64
+			for i := range tokens {
+				t := &tokens[i]
+				drow := ndz.Row(t.doc)
+				denomD := docW[t.doc] + alpha*float64(k)
+				var p float64
+				for z := 0; z < k; z++ {
+					p += (drow[z] + alpha) / denomD * (nzw.Data[z*v+t.word] + beta) / (nz[z] + vbeta)
+				}
+				ll += t.weight * math.Log(p)
+			}
+			return ll
+		}
+	}
+
 	probs := make([]float64, k)
 	phiAcc := mat.New(k, v)
 	samples := 0
 	total := cfg.BurnIn + cfg.Iterations
 	for sweep := 0; sweep < total; sweep++ {
+		var sweepStart time.Time
+		if cfg.Progress != nil {
+			sweepStart = time.Now()
+		}
 		for i := range tokens {
 			t := &tokens[i]
 			// remove token from counts
@@ -162,6 +211,20 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 			nzw.Data[t.topic*v+t.word] += t.weight
 			nz[t.topic] += t.weight
 			ndz.Data[t.doc*k+t.topic] += t.weight
+		}
+		trainIterations.Inc()
+		trainTokens.Add(uint64(len(tokens)))
+		if cfg.Progress != nil {
+			elapsed := time.Since(sweepStart).Seconds()
+			tps := math.Inf(1)
+			if elapsed > 0 {
+				tps = float64(len(tokens)) / elapsed
+			}
+			cfg.Progress(obs.ProgressEvent{
+				Model: "lda", Iteration: sweep + 1, Total: total,
+				Loss:         logLik(),
+				TokensPerSec: tps,
+			})
 		}
 		if sweep >= cfg.BurnIn && (sweep-cfg.BurnIn)%cfg.SampleLag == 0 {
 			for z := 0; z < k; z++ {
@@ -187,6 +250,8 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 	for z := 0; z < k; z++ {
 		mat.Normalize(phiAcc.Row(z))
 	}
+	trainRuns.Inc()
+	sp.End()
 	return &Model{K: k, V: v, Alpha: alpha, Beta: beta, Phi: phiAcc, InferIters: cfg.InferIterations}, nil
 }
 

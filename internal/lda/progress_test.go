@@ -1,0 +1,85 @@
+package lda
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// TestProgressHookDoesNotPerturbTraining is the gob-byte-identity guarantee:
+// installing a Progress hook must not touch the sampler's RNG stream, so the
+// trained model is bit-for-bit the same with and without it.
+func TestProgressHookDoesNotPerturbTraining(t *testing.T) {
+	docs := twoTopicDocs(40, rng.New(11))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 10, Iterations: 20}
+
+	plain, err := Train(cfg, docs, nil, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []obs.ProgressEvent
+	hooked := cfg
+	hooked.Progress = func(ev obs.ProgressEvent) { events = append(events, ev) }
+	instrumented, err := Train(hooked, docs, nil, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := plain.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := instrumented.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("gob output differs with Progress hook installed")
+	}
+
+	wantCalls := cfg.BurnIn + cfg.Iterations
+	if len(events) != wantCalls {
+		t.Fatalf("Progress called %d times, want %d (BurnIn+Iterations)", len(events), wantCalls)
+	}
+	for i, ev := range events {
+		if ev.Model != "lda" {
+			t.Fatalf("event %d model = %q, want lda", i, ev.Model)
+		}
+		if ev.Iteration != i+1 {
+			t.Fatalf("event %d iteration = %d, want %d", i, ev.Iteration, i+1)
+		}
+		if ev.Total != wantCalls {
+			t.Fatalf("event %d total = %d, want %d", i, ev.Total, wantCalls)
+		}
+		if math.IsNaN(ev.Loss) || ev.Loss >= 0 {
+			t.Fatalf("event %d loss = %v, want finite negative log-likelihood", i, ev.Loss)
+		}
+	}
+	// Gibbs sampling should raise the in-sample log-likelihood from the
+	// random initial assignment to the planted two-topic structure.
+	if first, last := events[0].Loss, events[len(events)-1].Loss; last <= first {
+		t.Fatalf("log-likelihood did not improve: first %v, last %v", first, last)
+	}
+}
+
+// TestTrainCountersAdvance checks the registry counters move with training.
+func TestTrainCountersAdvance(t *testing.T) {
+	runs0 := obs.Default().Counter("lda_train_runs_total", "").Value()
+	iters0 := obs.Default().Counter("lda_train_iterations_total", "").Value()
+
+	docs := twoTopicDocs(10, rng.New(13))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 2, Iterations: 4}
+	if _, err := Train(cfg, docs, nil, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := obs.Default().Counter("lda_train_runs_total", "").Value(); got != runs0+1 {
+		t.Fatalf("lda_train_runs_total advanced by %d, want 1", got-runs0)
+	}
+	if got := obs.Default().Counter("lda_train_iterations_total", "").Value(); got != iters0+6 {
+		t.Fatalf("lda_train_iterations_total advanced by %d, want 6", got-iters0)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	SGDLearnRate  float64
 	SGDDecay      float64
 	SGDDecayAfter int
+
+	// Progress, when non-nil, is invoked after every epoch with the mean
+	// per-token training NLL and token throughput. The hook never touches
+	// the training RNG, so models are bit-identical with and without it.
+	Progress obs.Progress
 }
 
 func (c *Config) fillDefaults() {

@@ -3,9 +3,18 @@ package lstm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+var (
+	trainEpochs = obs.Default().Counter("lstm_train_epochs_total",
+		"training epochs completed across all LSTM runs")
+	trainTokens = obs.Default().Counter("lstm_train_tokens_total",
+		"tokens processed by BPTT across all LSTM runs")
 )
 
 // TrainStats records the learning curve of one training run.
@@ -171,6 +180,7 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 		opt[fmt.Sprintf("b%d", l)] = newAdam(len(gr.cells[l].b))
 	}
 
+	sp := obs.Start("lstm.train")
 	stats := TrainStats{}
 	order := make([]int, len(train))
 	for i := range order {
@@ -178,6 +188,10 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 	}
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if cfg.Progress != nil {
+			epochStart = time.Now()
+		}
 		// SGD follows the Zaremba schedule: constant lr, geometric decay
 		// after the warm period.
 		sgdLR := cfg.SGDLearnRate
@@ -226,7 +240,25 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 		if len(valid) > 0 {
 			stats.ValidPerpl = append(stats.ValidPerpl, model.Perplexity(valid))
 		}
+		trainEpochs.Inc()
+		trainTokens.Add(uint64(lossTokens))
+		if cfg.Progress != nil {
+			elapsed := time.Since(epochStart).Seconds()
+			tps := math.Inf(1)
+			if elapsed > 0 {
+				tps = float64(lossTokens) / elapsed
+			}
+			meanNLL := math.NaN()
+			if lossTokens > 0 {
+				meanNLL = lossSum / float64(lossTokens)
+			}
+			cfg.Progress(obs.ProgressEvent{
+				Model: "lstm", Iteration: epoch + 1, Total: cfg.Epochs,
+				Loss: meanNLL, TokensPerSec: tps,
+			})
+		}
 	}
+	sp.End()
 	return model, stats, nil
 }
 

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"expvar"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry as an indented JSON snapshot.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// DebugServer is the side listener the cmd/ binaries start for -debug-addr.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug binds addr and serves /metrics (Prometheus text), /metrics.json,
+// /debug/vars (expvar) and /debug/pprof/* in a background goroutine. Pass
+// an explicit port of 0 (e.g. "localhost:0") to pick a free port; Addr
+// reports the bound address.
+func StartDebug(addr string, r *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Flags are the shared observability flags of the cmd/ binaries.
+type Flags struct {
+	DebugAddr string
+	Verbose   bool
+	Progress  bool
+}
+
+// BindFlags registers -debug-addr, -v and -progress on fs and returns the
+// destination struct (read after fs.Parse).
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&f.Verbose, "v", false, "verbose (debug-level) logging")
+	fs.BoolVar(&f.Progress, "progress", false, "log per-iteration training/progress lines")
+	return f
+}
+
+// Init builds the CLI logger and, when -debug-addr was given, starts the
+// debug server on the default registry. The returned func stops the server;
+// call it before exiting.
+func (f *Flags) Init(name string) (*slog.Logger, func()) {
+	logger := NewCLILogger(os.Stderr, name, f.Verbose)
+	stop := func() {}
+	if f.DebugAddr != "" {
+		srv, err := StartDebug(f.DebugAddr, Default())
+		if err != nil {
+			logger.Error("debug server failed to start: " + err.Error())
+			os.Exit(1)
+		}
+		logger.Info("debug server listening", "addr", srv.Addr())
+		stop = func() { _ = srv.Close() }
+	}
+	return logger, stop
+}

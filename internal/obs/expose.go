@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in Prometheus text exposition format
+// (version 0.0.4), sorted by metric name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type entry struct {
+		name string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+		help string
+	}
+	r.mu.RLock()
+	entries := make([]entry, 0, len(r.help))
+	for name, c := range r.counters {
+		entries = append(entries, entry{name: name, c: c, help: r.help[name]})
+	}
+	for name, g := range r.gauges {
+		entries = append(entries, entry{name: name, g: g, help: r.help[name]})
+	}
+	for name, h := range r.hists {
+		entries = append(entries, entry{name: name, h: h, help: r.help[name]})
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+		}
+		switch {
+		case e.c != nil:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
+		case e.g != nil:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.g.Value()))
+		case e.h != nil:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", e.name)
+			counts := e.h.snapshotCounts()
+			var cum uint64
+			for i, b := range e.h.bounds {
+				cum += counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, formatFloat(b), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", e.name, formatFloat(e.h.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// HistogramSnapshot is the JSON-friendly view of one histogram.
+type HistogramSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"` // upper bounds; the final implicit bucket is +Inf
+	Counts []uint64  `json:"counts"` // per-bucket counts, len(bounds)+1
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: h.snapshotCounts(),
+			P50:    h.Quantile(0.50),
+			P90:    h.Quantile(0.90),
+			P99:    h.Quantile(0.99),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONFile dumps the JSON snapshot to path (the machine-readable trace
+// cmd/ibtrain and cmd/ibeval leave next to their outputs).
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync"
+)
+
+// cliHandler is a minimal slog.Handler that keeps the traditional CLI log
+// shape the repo's scripts expect: "name: message key=value ...", one line
+// per record, no timestamps, no level tags. Debug records are dropped unless
+// verbose logging was requested.
+type cliHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string
+	min    slog.Level
+	attrs  string // preformatted " key=value" pairs from WithAttrs
+	group  string // dotted group prefix for subsequent attr keys
+}
+
+// NewCLILogger returns a slog.Logger writing "name: msg k=v" lines to w.
+// verbose enables debug-level records; info and above always pass.
+func NewCLILogger(w io.Writer, name string, verbose bool) *slog.Logger {
+	min := slog.LevelInfo
+	if verbose {
+		min = slog.LevelDebug
+	}
+	return slog.New(&cliHandler{mu: &sync.Mutex{}, w: w, prefix: name, min: min})
+}
+
+func (h *cliHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.min }
+
+func (h *cliHandler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 128)
+	if h.prefix != "" {
+		buf = append(buf, h.prefix...)
+		buf = append(buf, ": "...)
+	}
+	buf = append(buf, r.Message...)
+	buf = append(buf, h.attrs...)
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, h.group, a)
+		return true
+	})
+	buf = append(buf, '\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.w.Write(buf)
+	return err
+}
+
+func (h *cliHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h2 := *h
+	buf := []byte(h.attrs)
+	for _, a := range attrs {
+		buf = appendAttr(buf, h.group, a)
+	}
+	h2.attrs = string(buf)
+	return &h2
+}
+
+func (h *cliHandler) WithGroup(name string) slog.Handler {
+	h2 := *h
+	if name != "" {
+		h2.group = h.group + name + "."
+	}
+	return &h2
+}
+
+func appendAttr(buf []byte, group string, a slog.Attr) []byte {
+	v := a.Value.Resolve()
+	if a.Key == "" && v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			buf = appendAttr(buf, group, ga)
+		}
+		return buf
+	}
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			buf = appendAttr(buf, group+a.Key+".", ga)
+		}
+		return buf
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, group...)
+	buf = append(buf, a.Key...)
+	buf = append(buf, '=')
+	switch v.Kind() {
+	case slog.KindFloat64:
+		buf = strconv.AppendFloat(buf, v.Float64(), 'g', 6, 64)
+	case slog.KindInt64:
+		buf = strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		buf = strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindBool:
+		buf = strconv.AppendBool(buf, v.Bool())
+	case slog.KindString:
+		buf = appendQuotedIfNeeded(buf, v.String())
+	default:
+		buf = appendQuotedIfNeeded(buf, fmt.Sprint(v.Any()))
+	}
+	return buf
+}
+
+func appendQuotedIfNeeded(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '"' || s[i] == '=' || s[i] < 0x20 {
+			return strconv.AppendQuote(buf, s)
+		}
+	}
+	return append(buf, s...)
+}

@@ -1,0 +1,33 @@
+package obs
+
+import "log/slog"
+
+// ProgressEvent is one training-progress report. Every iterative model
+// family emits one event per outer iteration (Gibbs sweep for lda/bpmf,
+// epoch for lstm/gru/sgns) when a Progress hook is installed in its Config.
+type ProgressEvent struct {
+	Model        string  // family name: "lda", "lstm", "gru", "bpmf", "sgns"
+	Iteration    int     // 1-based iteration just completed
+	Total        int     // total planned iterations
+	Loss         float64 // family-specific: LDA in-sample log-likelihood, lstm/gru mean per-token NLL, bpmf train RMSE, sgns mean pair NLL
+	TokensPerSec float64 // training throughput over the iteration (tokens, ratings or pairs per second)
+}
+
+// Progress is the per-iteration training callback carried by model Configs.
+// A nil hook (the default) is never invoked and skips every hook-only
+// computation, so training is bit-identical with and without instrumentation.
+type Progress func(ProgressEvent)
+
+// SlogProgress returns a Progress hook that logs one structured line per
+// iteration through l — the -progress flag of the cmd/ binaries.
+func SlogProgress(l *slog.Logger) Progress {
+	return func(ev ProgressEvent) {
+		l.Info("progress",
+			"model", ev.Model,
+			"iter", ev.Iteration,
+			"total", ev.Total,
+			"loss", ev.Loss,
+			"tokens_per_sec", ev.TokensPerSec,
+		)
+	}
+}

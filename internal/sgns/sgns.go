@@ -14,9 +14,18 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+var (
+	trainEpochs = obs.Default().Counter("sgns_train_epochs_total",
+		"training epochs completed across all SGNS runs")
+	trainPairs = obs.Default().Counter("sgns_train_pairs_total",
+		"positive co-occurrence pairs processed across all SGNS runs")
 )
 
 // Config parameterizes SGNS training.
@@ -30,6 +39,13 @@ type Config struct {
 	// NoisePower shapes the negative-sampling distribution
 	// (unigram^power); 0 selects Mikolov's 0.75.
 	NoisePower float64
+
+	// Progress, when non-nil, is invoked after every epoch with the mean
+	// negative-sampling objective per positive pair and pair throughput
+	// (TokensPerSec counts pairs). Loss terms reuse the sigmoids already
+	// computed by the update rule and the hook draws no random numbers, so
+	// trained embeddings are bit-identical with and without it.
+	Progress obs.Progress
 }
 
 func (c *Config) fillDefaults() {
@@ -109,6 +125,7 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 	}
 	// Out starts at zero, the word2vec convention.
 
+	sp := obs.Start("sgns.train")
 	total := cfg.Epochs * len(pairs)
 	step := 0
 	order := make([]int, len(pairs))
@@ -116,7 +133,13 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 		order[i] = i
 	}
 	gradIn := make([]float64, cfg.Dim)
+	track := cfg.Progress != nil
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		var epochLoss float64
+		if track {
+			epochStart = time.Now()
+		}
 		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, pi := range order {
 			lr := cfg.LearnRate * (1 - float64(step)/float64(total))
@@ -132,6 +155,9 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 			// positive update
 			out := m.Out.Row(context)
 			gpos := sigmoid(mat.Dot(in, out)) - 1 // label 1
+			if track {
+				epochLoss -= math.Log(math.Max(1+gpos, 1e-300)) // -log sigmoid(x)
+			}
 			for k := 0; k < cfg.Dim; k++ {
 				gradIn[k] += gpos * out[k]
 				out[k] -= lr * gpos * in[k]
@@ -144,6 +170,9 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 				}
 				outN := m.Out.Row(neg)
 				gneg := sigmoid(mat.Dot(in, outN)) // label 0
+				if track {
+					epochLoss -= math.Log(math.Max(1-gneg, 1e-300)) // -log sigmoid(-x)
+				}
 				for k := 0; k < cfg.Dim; k++ {
 					gradIn[k] += gneg * outN[k]
 					outN[k] -= lr * gneg * in[k]
@@ -153,7 +182,21 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 				in[k] -= lr * gradIn[k]
 			}
 		}
+		trainEpochs.Inc()
+		trainPairs.Add(uint64(len(pairs)))
+		if track {
+			elapsed := time.Since(epochStart).Seconds()
+			pps := math.Inf(1)
+			if elapsed > 0 {
+				pps = float64(len(pairs)) / elapsed
+			}
+			cfg.Progress(obs.ProgressEvent{
+				Model: "sgns", Iteration: epoch + 1, Total: cfg.Epochs,
+				Loss: epochLoss / float64(len(pairs)), TokensPerSec: pps,
+			})
+		}
 	}
+	sp.End()
 	return m, nil
 }
 
