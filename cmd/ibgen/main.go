@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/datagen"
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 )
 
 // progressEvery is how many companies pass between -progress log lines.
@@ -73,38 +75,34 @@ func main() {
 	}
 
 	// Direct generation streams company-by-company so the paper's full
-	// 860k-company scale runs in bounded memory.
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	jw, err := corpus.NewJSONLWriter(f, gen.Catalog)
-	if err != nil {
-		fatal(err)
-	}
+	// 860k-company scale runs in bounded memory. The stream goes through an
+	// atomic temp-file write: a crash or ENOSPC mid-generation never leaves
+	// a truncated corpus (or clobbers an existing one) at -out.
 	var total, written int
 	start := time.Now()
-	if err := gen.Each(func(co corpus.Company) error {
-		total += len(co.Acquisitions)
-		written++
-		if obsFlags.Progress && written%progressEvery == 0 {
-			elapsed := time.Since(start).Seconds()
-			rate := float64(written)
-			if elapsed > 0 {
-				rate = float64(written) / elapsed
-			}
-			logger.Info("generating", "companies", written, "total", *companies,
-				"acquisitions", total, "companies_per_sec", rate)
+	if err := snapshot.Atomic(*out, func(w io.Writer) error {
+		jw, err := corpus.NewJSONLWriter(w, gen.Catalog)
+		if err != nil {
+			return err
 		}
-		return jw.Write(&co)
+		if err := gen.Each(func(co corpus.Company) error {
+			total += len(co.Acquisitions)
+			written++
+			if obsFlags.Progress && written%progressEvery == 0 {
+				elapsed := time.Since(start).Seconds()
+				rate := float64(written)
+				if elapsed > 0 {
+					rate = float64(written) / elapsed
+				}
+				logger.Info("generating", "companies", written, "total", *companies,
+					"acquisitions", total, "companies_per_sec", rate)
+			}
+			return jw.Write(&co)
+		}); err != nil {
+			return err
+		}
+		return jw.Flush()
 	}); err != nil {
-		fatal(err)
-	}
-	if err := jw.Flush(); err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	sp.End()

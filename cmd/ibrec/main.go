@@ -18,12 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	hiddenlayer "repro"
 	"repro/internal/lda"
@@ -42,7 +45,7 @@ func fatalMsg(msg string) {
 	os.Exit(1)
 }
 
-// loadLDA reads a gob-encoded LDA model written by ibtrain.
+// loadLDA reads a checksummed LDA model snapshot written by ibtrain.
 func loadLDA(path string) (*hiddenlayer.LDAModel, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -93,8 +96,13 @@ func main() {
 			fatal(err)
 		}
 	} else {
+		// Model selection can take a while on big corpora; SIGINT/SIGTERM
+		// abandon it at the next Gibbs-sweep boundary instead of requiring
+		// a hard kill.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		fmt.Println("selecting LDA model by validation perplexity (topics 2, 3, 4)...")
-		sel, err := hiddenlayer.SelectLDAWithProgress(c, []int{2, 3, 4}, *seed, progress)
+		sel, err := hiddenlayer.SelectLDAContext(ctx, c, []int{2, 3, 4}, *seed, progress)
+		stop()
 		if err != nil {
 			fatal(err)
 		}

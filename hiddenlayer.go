@@ -17,6 +17,7 @@
 package hiddenlayer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -101,6 +102,15 @@ func SelectLDA(c *Corpus, grid []int, seed int64) (*ModelSelection, error) {
 // installed in every candidate model's Config (nil behaves exactly like
 // SelectLDA: same split, same RNG stream, bit-identical models).
 func SelectLDAWithProgress(c *Corpus, grid []int, seed int64, progress TrainingProgress) (*ModelSelection, error) {
+	return SelectLDAContext(context.Background(), c, grid, seed, progress)
+}
+
+// SelectLDAContext is SelectLDAWithProgress with a cancellable context
+// threaded into every candidate's Gibbs sampler: cancellation stops the
+// sweep loop at the next boundary and surfaces ctx.Err(), so callers (for
+// example a signal-trapping CLI) can abandon a long model-selection run
+// cleanly.
+func SelectLDAContext(ctx context.Context, c *Corpus, grid []int, seed int64, progress TrainingProgress) (*ModelSelection, error) {
 	if len(grid) == 0 {
 		grid = []int{2, 3, 4, 6, 8, 10, 12, 14, 16}
 	}
@@ -117,7 +127,7 @@ func SelectLDAWithProgress(c *Corpus, grid []int, seed int64, progress TrainingP
 		if k < 1 {
 			return nil, fmt.Errorf("hiddenlayer: invalid topic count %d", k)
 		}
-		m, err := lda.Train(lda.Config{Topics: k, V: c.M(), Progress: progress}, trainDocs, nil, g.Split())
+		m, err := lda.TrainContext(ctx, lda.Config{Topics: k, V: c.M(), Progress: progress}, trainDocs, nil, g.Split())
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@
 package bpmf
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -18,6 +19,13 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// Snapshot container kinds for BPMF artifacts.
+const (
+	KindModel      = "bpmf-model"
+	KindCheckpoint = "bpmf-checkpoint"
 )
 
 var (
@@ -52,6 +60,44 @@ type Config struct {
 	// (TokensPerSec counts ratings). The hook draws no random numbers, so
 	// trained models are bit-identical with and without it.
 	Progress obs.Progress
+
+	// Checkpoint, when non-nil, receives a full snapshot of the factor
+	// matrices, score accumulator and RNG state every CheckpointEvery
+	// completed sweeps (and once more on context cancellation). The snapshot
+	// owns its memory; the hook draws no random numbers, so checkpointed
+	// runs sample bit-identically to unhooked runs. A hook error aborts
+	// training.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery is the sweep interval between Checkpoint calls;
+	// 0 disables periodic checkpoints (a cancellation checkpoint is still
+	// written when Checkpoint is set).
+	CheckpointEvery int
+}
+
+// ConfigState is the hookless, serializable part of Config that checkpoints
+// embed (captured after defaulting), so Resume continues under exactly the
+// schedule the run started with.
+type ConfigState struct {
+	Rank           int
+	Alpha, Beta0   float64
+	Burn, Samples  int
+	ClipLo, ClipHi float64
+}
+
+func (c *Config) state() ConfigState {
+	return ConfigState{
+		Rank: c.Rank, Alpha: c.Alpha, Beta0: c.Beta0,
+		Burn: c.Burn, Samples: c.Samples,
+		ClipLo: c.ClipLo, ClipHi: c.ClipHi,
+	}
+}
+
+func (cs ConfigState) config() Config {
+	return Config{
+		Rank: cs.Rank, Alpha: cs.Alpha, Beta0: cs.Beta0,
+		Burn: cs.Burn, Samples: cs.Samples,
+		ClipLo: cs.ClipLo, ClipHi: cs.ClipHi,
+	}
 }
 
 func (c *Config) fillDefaults() {
@@ -85,6 +131,9 @@ func (c *Config) validate() error {
 	if c.ClipHi <= c.ClipLo {
 		return fmt.Errorf("bpmf: ClipHi must exceed ClipLo")
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("bpmf: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -99,8 +148,29 @@ type Model struct {
 // Predict returns the posterior-mean predictive score for (user, item).
 func (m *Model) Predict(user, item int) float64 { return m.Scores.At(user, item) }
 
+// indexRatings buckets ratings by user and item, range-checking each entry.
+func indexRatings(n, mItems int, ratings []Rating) (byUser, byItem [][]Rating, err error) {
+	byUser = make([][]Rating, n)
+	byItem = make([][]Rating, mItems)
+	for _, r := range ratings {
+		if r.User < 0 || r.User >= n || r.Item < 0 || r.Item >= mItems {
+			return nil, nil, fmt.Errorf("bpmf: rating (%d,%d) outside %dx%d", r.User, r.Item, n, mItems)
+		}
+		byUser[r.User] = append(byUser[r.User], r)
+		byItem[r.Item] = append(byItem[r.Item], r)
+	}
+	return byUser, byItem, nil
+}
+
 // Train runs the BPMF Gibbs sampler on the observed ratings.
 func Train(cfg Config, n, mItems int, ratings []Rating, g *rng.RNG) (*Model, error) {
+	return TrainContext(context.Background(), cfg, n, mItems, ratings, g)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked at
+// every sweep boundary, and on cancellation a final checkpoint is handed to
+// cfg.Checkpoint (when set) before returning an error wrapping ctx.Err().
+func TrainContext(ctx context.Context, cfg Config, n, mItems int, ratings []Rating, g *rng.RNG) (*Model, error) {
 	cfg.fillDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -108,14 +178,9 @@ func Train(cfg Config, n, mItems int, ratings []Rating, g *rng.RNG) (*Model, err
 	if n < 1 || mItems < 1 {
 		return nil, fmt.Errorf("bpmf: need positive matrix dimensions, got %dx%d", n, mItems)
 	}
-	byUser := make([][]Rating, n)
-	byItem := make([][]Rating, mItems)
-	for _, r := range ratings {
-		if r.User < 0 || r.User >= n || r.Item < 0 || r.Item >= mItems {
-			return nil, fmt.Errorf("bpmf: rating (%d,%d) outside %dx%d", r.User, r.Item, n, mItems)
-		}
-		byUser[r.User] = append(byUser[r.User], r)
-		byItem[r.Item] = append(byItem[r.Item], r)
+	byUser, byItem, err := indexRatings(n, mItems, ratings)
+	if err != nil {
+		return nil, err
 	}
 
 	d := cfg.Rank
@@ -128,12 +193,55 @@ func Train(cfg Config, n, mItems int, ratings []Rating, g *rng.RNG) (*Model, err
 	for i := range v.Data {
 		v.Data[i] = 0.1 * g.Norm()
 	}
+	return trainLoop(ctx, cfg, ratings, byUser, byItem, u, v, mat.New(n, mItems), 0, 0, g)
+}
 
+// Resume continues an interrupted run from a checkpoint. ratings must be the
+// same set the original call received; hooks supplies Progress/Checkpoint/
+// CheckpointEvery for the continued run while the Gibbs schedule comes from
+// the checkpoint. A resumed run draws the same random stream as the
+// uninterrupted one, so the final model is bit-identical.
+func Resume(ctx context.Context, ck *Checkpoint, ratings []Rating, hooks Config) (*Model, error) {
+	cfg := ck.Cfg.config()
+	cfg.Progress = hooks.Progress
+	cfg.Checkpoint = hooks.Checkpoint
+	cfg.CheckpointEvery = hooks.CheckpointEvery
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("bpmf: checkpoint carries invalid config: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	byUser, byItem, err := indexRatings(ck.N, ck.M, ratings)
+	if err != nil {
+		return nil, err
+	}
+	u := mat.FromSlice(ck.N, cfg.Rank, append([]float64(nil), ck.U...))
+	v := mat.FromSlice(ck.M, cfg.Rank, append([]float64(nil), ck.V...))
+	scoreAcc := mat.FromSlice(ck.N, ck.M, append([]float64(nil), ck.ScoreAcc...))
+	g, err := rng.FromState(ck.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("bpmf: checkpoint RNG state: %w", err)
+	}
+	return trainLoop(ctx, cfg, ratings, byUser, byItem, u, v, scoreAcc, ck.Kept, ck.Sweep, g)
+}
+
+// trainLoop runs sweeps startSweep..Burn+Samples-1, mutating the factor
+// matrices and score accumulator in place.
+func trainLoop(ctx context.Context, cfg Config, ratings []Rating, byUser, byItem [][]Rating, u, v, scoreAcc *mat.Matrix, kept, startSweep int, g *rng.RNG) (*Model, error) {
+	n, mItems := u.Rows, v.Rows
 	sp := obs.Start("bpmf.train")
-	scoreAcc := mat.New(n, mItems)
-	kept := 0
 	total := cfg.Burn + cfg.Samples
-	for sweep := 0; sweep < total; sweep++ {
+	for sweep := startSweep; sweep < total; sweep++ {
+		if err := ctx.Err(); err != nil {
+			if cfg.Checkpoint != nil {
+				if cerr := cfg.Checkpoint(snapshotState(&cfg, u, v, scoreAcc, kept, sweep, g)); cerr != nil {
+					return nil, fmt.Errorf("bpmf: writing cancellation checkpoint: %w", cerr)
+				}
+			}
+			return nil, fmt.Errorf("bpmf: training interrupted after sweep %d/%d: %w", sweep, total, err)
+		}
 		var sweepStart time.Time
 		if cfg.Progress != nil {
 			sweepStart = time.Now()
@@ -191,10 +299,16 @@ func Train(cfg Config, n, mItems int, ratings []Rating, g *rng.RNG) (*Model, err
 				Loss: rmse, TokensPerSec: tps,
 			})
 		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			(sweep+1)%cfg.CheckpointEvery == 0 && sweep+1 < total {
+			if err := cfg.Checkpoint(snapshotState(&cfg, u, v, scoreAcc, kept, sweep+1, g)); err != nil {
+				return nil, fmt.Errorf("bpmf: checkpoint hook at sweep %d: %w", sweep+1, err)
+			}
+		}
 	}
 	scoreAcc.Scale(1 / float64(kept))
 	sp.End()
-	return &Model{N: n, M: mItems, Rank: d, Scores: scoreAcc}, nil
+	return &Model{N: n, M: mItems, Rank: cfg.Rank, Scores: scoreAcc}, nil
 }
 
 // byItemSwapped flips (user, item) so sampleFactors can treat items as the
@@ -306,16 +420,23 @@ type gobModel struct {
 	Scores     []float64
 }
 
-// Save serializes the model with encoding/gob.
+// Save serializes the model into a checksummed snapshot container of kind
+// KindModel.
 func (m *Model) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(gobModel{N: m.N, M: m.M, Rank: m.Rank, Scores: m.Scores.Data})
+	return snapshot.Write(w, KindModel, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(gobModel{N: m.N, M: m.M, Rank: m.Rank, Scores: m.Scores.Data})
+	})
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save. Truncated, bit-flipped and
+// wrong-kind files fail the container's integrity checks before any gob
+// decoding runs.
 func Load(r io.Reader) (*Model, error) {
 	var g gobModel
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("bpmf: decoding model: %w", err)
+	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&g)
+	}); err != nil {
+		return nil, fmt.Errorf("bpmf: loading model: %w", err)
 	}
 	if g.N < 1 || g.M < 1 || len(g.Scores) != g.N*g.M {
 		return nil, fmt.Errorf("bpmf: corrupt model")

@@ -1,0 +1,165 @@
+package bpmf
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointHookDoesNotPerturbTraining(t *testing.T) {
+	ratings, _ := lowRankRatings(12, 8, rng.New(3))
+	cfg := Config{Rank: 2, Burn: 4, Samples: 6}
+
+	plain, err := Train(cfg, 12, 8, ratings, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := cfg
+	calls := 0
+	hooked.CheckpointEvery = 3
+	hooked.Checkpoint = func(*Checkpoint) error { calls++; return nil }
+	ckRun, err := Train(hooked, 12, 8, ratings, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("checkpoint hook never invoked")
+	}
+	if !bytes.Equal(modelBytes(t, plain), modelBytes(t, ckRun)) {
+		t.Fatal("gob output differs with Checkpoint hook installed")
+	}
+}
+
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	ratings, _ := lowRankRatings(12, 8, rng.New(5))
+	cfg := Config{Rank: 2, Burn: 5, Samples: 7}
+
+	straight, err := Train(cfg, 12, 8, ratings, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture a post-burn-in checkpoint (the accumulator must round-trip
+	// too), serialize it, and resume.
+	var mid *Checkpoint
+	hooked := cfg
+	hooked.CheckpointEvery = 7
+	hooked.Checkpoint = func(ck *Checkpoint) error {
+		if mid == nil {
+			mid = ck
+		}
+		return nil
+	}
+	if _, err := Train(hooked, 12, 8, ratings, rng.New(99)); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	if mid.Kept == 0 {
+		t.Fatalf("checkpoint at sweep %d should carry accumulated samples", mid.Sweep)
+	}
+	var buf bytes.Buffer
+	if err := mid.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), loaded, ratings, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resumed model differs from uninterrupted run")
+	}
+}
+
+func TestCancellationWritesFinalCheckpoint(t *testing.T) {
+	ratings, _ := lowRankRatings(10, 6, rng.New(2))
+	cfg := Config{Rank: 2, Burn: 4, Samples: 8}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var last *Checkpoint
+	calls := 0
+	cfg.CheckpointEvery = 3
+	cfg.Checkpoint = func(ck *Checkpoint) error {
+		last = ck
+		calls++
+		if calls == 1 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := TrainContext(ctx, cfg, 10, 6, ratings, rng.New(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls < 2 {
+		t.Fatalf("cancellation must write a final checkpoint (calls = %d)", calls)
+	}
+	straight, err := Train(Config{Rank: 2, Burn: 4, Samples: 8}, 10, 6, ratings, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), last, ratings, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resume after cancellation differs from uninterrupted run")
+	}
+}
+
+func TestCheckpointHookErrorAbortsTraining(t *testing.T) {
+	ratings, _ := lowRankRatings(8, 5, rng.New(2))
+	boom := errors.New("disk full")
+	cfg := Config{Rank: 2, Burn: 2, Samples: 6, CheckpointEvery: 2}
+	cfg.Checkpoint = func(*Checkpoint) error { return boom }
+	if _, err := Train(cfg, 8, 5, ratings, rng.New(1)); !errors.Is(err, boom) {
+		t.Fatalf("want hook error surfaced, got %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruptState(t *testing.T) {
+	ratings, _ := lowRankRatings(8, 5, rng.New(2))
+	cfg := Config{Rank: 2, Burn: 2, Samples: 6, CheckpointEvery: 3}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, err := Train(cfg, 8, 5, ratings, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *mid
+	bad.U = mid.U[:3] // truncated factor matrix
+	var buf bytes.Buffer
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf); err == nil {
+		t.Fatal("truncated factor matrix accepted")
+	}
+
+	bad2 := *mid
+	bad2.Kept = 99 // more samples than the schedule allows
+	buf.Reset()
+	if err := bad2.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf); err == nil {
+		t.Fatal("impossible kept count accepted")
+	}
+}

@@ -12,7 +12,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/snapshot"
 )
+
+// KindModel is the snapshot container kind for serialized exact-CHH models.
+const KindModel = "chh-model"
 
 // Exact counts every (context, next) pair exactly. With the paper's
 // vocabulary (M = 38) the context universe is tiny (38 + 38² contexts), so
@@ -193,16 +198,35 @@ type gobExact struct {
 	Total0 float64
 }
 
-// Save serializes the model with encoding/gob.
+// Save serializes the model into a checksummed snapshot container of kind
+// KindModel.
 func (e *Exact) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(gobExact(*e))
+	return snapshot.Write(w, KindModel, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(gobExact(*e))
+	})
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save, rejecting containers whose
+// payload decodes to an inconsistent model.
 func Load(r io.Reader) (*Exact, error) {
 	var g gobExact
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("chh: decoding model: %w", err)
+	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&g)
+	}); err != nil {
+		return nil, fmt.Errorf("chh: loading model: %w", err)
+	}
+	if g.V < 1 || (g.Depth != 1 && g.Depth != 2) || len(g.Count0) != g.V {
+		return nil, fmt.Errorf("chh: corrupt model (V %d, depth %d)", g.V, g.Depth)
+	}
+	for _, counts := range g.Count1 {
+		if len(counts) != g.V {
+			return nil, fmt.Errorf("chh: corrupt depth-1 table")
+		}
+	}
+	for _, counts := range g.Count2 {
+		if len(counts) != g.V {
+			return nil, fmt.Errorf("chh: corrupt depth-2 table")
+		}
 	}
 	e := Exact(g)
 	return &e, nil

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/snapshot"
 )
 
 // jsonCompany is the JSONL wire format for one company.
@@ -78,6 +80,7 @@ func ReadJSONL(r io.Reader) (*Corpus, error) {
 	}
 	catalog := NewCatalog(cats)
 	var companies []Company
+	seen := make(map[int]int) // company ID -> line it first appeared on
 	line := 1
 	for sc.Scan() {
 		line++
@@ -85,6 +88,13 @@ func ReadJSONL(r io.Reader) (*Corpus, error) {
 		if err := json.Unmarshal(sc.Bytes(), &jc); err != nil {
 			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
 		}
+		if jc.ID < 0 {
+			return nil, fmt.Errorf("corpus: line %d: negative company id %d", line, jc.ID)
+		}
+		if first, dup := seen[jc.ID]; dup {
+			return nil, fmt.Errorf("corpus: line %d: duplicate company id %d (first seen on line %d)", line, jc.ID, first)
+		}
+		seen[jc.ID] = line
 		co := Company{
 			ID: jc.ID, Name: jc.Name, DUNS: jc.DUNS, Country: jc.Country,
 			SIC2: jc.SIC2, Employees: jc.Employees, RevenueM: jc.RevenueM,
@@ -97,6 +107,9 @@ func ReadJSONL(r io.Reader) (*Corpus, error) {
 			var y, mo int
 			if _, err := fmt.Sscanf(a.First, "%d-%d", &y, &mo); err != nil {
 				return nil, fmt.Errorf("corpus: line %d: bad month %q: %w", line, a.First, err)
+			}
+			if mo < 1 || mo > 12 {
+				return nil, fmt.Errorf("corpus: line %d: month %q outside 01..12", line, a.First)
 			}
 			co.Acquisitions = append(co.Acquisitions, Acquisition{Category: id, First: MonthOf(y, mo)})
 		}
@@ -153,17 +166,11 @@ func (w *JSONLWriter) Write(co *Company) error {
 // Flush drains buffered output; call it once after the last Write.
 func (w *JSONLWriter) Flush() error { return w.bw.Flush() }
 
-// SaveFile writes the corpus as JSONL to path.
+// SaveFile writes the corpus as JSONL to path. The write is atomic: the
+// data lands in a temp file that is fsynced and renamed over path, so a
+// crash mid-write never leaves a truncated corpus at the destination.
 func (c *Corpus) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := c.WriteJSONL(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return snapshot.Atomic(path, c.WriteJSONL)
 }
 
 // LoadFile reads a JSONL corpus from path.

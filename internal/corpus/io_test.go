@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testHdr = `{"format":"installbase-corpus/v1","categories":["a","b"]}` + "\n"
+
+func TestReadJSONLRejectsDuplicateIDs(t *testing.T) {
+	in := testHdr +
+		`{"id":7,"name":"x","acquisitions":[]}` + "\n" +
+		`{"id":7,"name":"y","acquisitions":[]}` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("duplicate company id accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") || !strings.Contains(msg, "line 2") {
+		t.Fatalf("duplicate error should name both lines, got %q", msg)
+	}
+}
+
+func TestReadJSONLRejectsNegativeID(t *testing.T) {
+	in := testHdr + `{"id":-4,"name":"x"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("negative company id accepted")
+	}
+}
+
+func TestReadJSONLRejectsOutOfRangeMonth(t *testing.T) {
+	in := testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"2001-13"}]}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("month 13 accepted")
+	}
+	in = testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"2001-00"}]}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("month 00 accepted")
+	}
+}
+
+func TestReadJSONLParseErrorNamesLine(t *testing.T) {
+	in := testHdr + `{"id":1}` + "\n" + `{not json` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("parse error should carry the line number, got %q", err)
+	}
+}
+
+func TestSaveFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.jsonl")
+	c := smallCorpus()
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != c.N() || got.M() != c.M() {
+		t.Fatalf("round-trip shape %d/%d, want %d/%d", got.N(), got.M(), c.N(), c.M())
+	}
+	// No temp litter next to the destination.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the corpus file, found %d entries", len(entries))
+	}
+}
+
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	if err := smallCorpus().WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-record
+	f.Add([]byte(""))
+	f.Add([]byte(testHdr))
+	f.Add([]byte(testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"2001-13"}]}`))
+	f.Add([]byte(testHdr + `{"id":2}` + "\n" + `{"id":2}`))
+	f.Add([]byte(`{"format":"installbase-corpus/v1","categories":[]}` + "\n"))
+	f.Add([]byte("{not json"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil && c != nil {
+			t.Fatal("ReadJSONL returned both a corpus and an error")
+		}
+		if err == nil {
+			// Accepted corpora must be internally consistent.
+			seen := make(map[int]bool)
+			for _, co := range c.Companies {
+				if co.ID < 0 || seen[co.ID] {
+					t.Fatalf("accepted corpus with bad/duplicate id %d", co.ID)
+				}
+				seen[co.ID] = true
+				for _, a := range co.Acquisitions {
+					if a.Category < 0 || a.Category >= c.M() {
+						t.Fatalf("accepted acquisition with category %d outside [0,%d)", a.Category, c.M())
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package gru
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// ckSeqs builds a small varied corpus for checkpoint tests.
+func ckSeqs(n, v int, g *rng.RNG) [][]int {
+	seqs := make([][]int, n)
+	for i := range seqs {
+		seqs[i] = make([]int, 3+g.Intn(5))
+		for j := range seqs[i] {
+			seqs[i][j] = g.Intn(v)
+		}
+	}
+	return seqs
+}
+
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointHookDoesNotPerturbTraining(t *testing.T) {
+	seqs := ckSeqs(20, 5, rng.New(4))
+	cfg := Config{V: 5, Layers: 1, Hidden: 6, Epochs: 6, Dropout: 0.2}
+
+	plain, _, err := Train(cfg, seqs, nil, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := cfg
+	calls := 0
+	hooked.CheckpointEvery = 2
+	hooked.Checkpoint = func(*Checkpoint) error { calls++; return nil }
+	ckRun, _, err := Train(hooked, seqs, nil, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("checkpoint hook never invoked")
+	}
+	if !bytes.Equal(modelBytes(t, plain), modelBytes(t, ckRun)) {
+		t.Fatal("gob output differs with Checkpoint hook installed")
+	}
+}
+
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	seqs := ckSeqs(25, 5, rng.New(7))
+	valid := ckSeqs(5, 5, rng.New(8))
+	cfg := Config{V: 5, Layers: 2, Hidden: 5, Epochs: 8, Dropout: 0.1}
+
+	straight, _, err := Train(cfg, seqs, valid, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mid *Checkpoint
+	hooked := cfg
+	hooked.CheckpointEvery = 3
+	hooked.Checkpoint = func(ck *Checkpoint) error {
+		if mid == nil {
+			mid = ck
+		}
+		return nil
+	}
+	if _, _, err := Train(hooked, seqs, valid, rng.New(99)); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	var buf bytes.Buffer
+	if err := mid.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := Resume(context.Background(), loaded, seqs, valid, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resumed model differs from uninterrupted run")
+	}
+}
+
+func TestCancellationWritesFinalCheckpoint(t *testing.T) {
+	seqs := ckSeqs(20, 4, rng.New(2))
+	cfg := Config{V: 4, Layers: 1, Hidden: 5, Epochs: 10}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var last *Checkpoint
+	calls := 0
+	cfg.CheckpointEvery = 2
+	cfg.Checkpoint = func(ck *Checkpoint) error {
+		last = ck
+		calls++
+		if calls == 1 {
+			cancel()
+		}
+		return nil
+	}
+	_, _, err := TrainContext(ctx, cfg, seqs, nil, rng.New(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls < 2 {
+		t.Fatalf("cancellation must write a final checkpoint (calls = %d)", calls)
+	}
+	straight, _, err := Train(Config{V: 4, Layers: 1, Hidden: 5, Epochs: 10}, seqs, nil, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := Resume(context.Background(), last, seqs, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resume after cancellation differs from uninterrupted run")
+	}
+}
+
+func TestCheckpointHookErrorAbortsTraining(t *testing.T) {
+	seqs := ckSeqs(15, 4, rng.New(2))
+	boom := errors.New("disk full")
+	cfg := Config{V: 4, Layers: 1, Hidden: 4, Epochs: 6, CheckpointEvery: 2}
+	cfg.Checkpoint = func(*Checkpoint) error { return boom }
+	if _, _, err := Train(cfg, seqs, nil, rng.New(1)); !errors.Is(err, boom) {
+		t.Fatalf("want hook error surfaced, got %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruptState(t *testing.T) {
+	seqs := ckSeqs(15, 4, rng.New(2))
+	cfg := Config{V: 4, Layers: 1, Hidden: 4, Epochs: 6, CheckpointEvery: 2}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, _, err := Train(cfg, seqs, nil, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *mid
+	bad.Params.Emb = mid.Params.Emb[:3]
+	var buf bytes.Buffer
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf); err == nil {
+		t.Fatal("truncated embedding tensor accepted")
+	}
+}

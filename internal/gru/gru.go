@@ -16,6 +16,13 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// Snapshot container kinds for GRU artifacts.
+const (
+	KindModel      = "gru-model"
+	KindCheckpoint = "gru-checkpoint"
 )
 
 // Config parameterizes model construction and training. Fields mirror
@@ -35,6 +42,43 @@ type Config struct {
 	// per-token training NLL and token throughput. The hook never touches
 	// the training RNG, so models are bit-identical with and without it.
 	Progress obs.Progress
+
+	// Checkpoint, when non-nil, receives a full snapshot of the parameters,
+	// optimizer moments and RNG state every CheckpointEvery completed
+	// epochs (and once more on context cancellation). The snapshot owns
+	// its memory; the hook draws no random numbers, so checkpointed runs
+	// train bit-identically to unhooked runs. A hook error aborts training.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery is the epoch interval between Checkpoint calls;
+	// 0 disables periodic checkpoints (a cancellation checkpoint is still
+	// written when Checkpoint is set).
+	CheckpointEvery int
+}
+
+// ConfigState is the hookless, serializable part of Config that checkpoints
+// embed, so Resume continues under exactly the schedule the run started
+// with.
+type ConfigState struct {
+	V, Layers, Hidden              int
+	Dropout                        float64
+	Epochs                         int
+	LearnRate, ClipNorm, InitScale float64
+}
+
+func (c *Config) state() ConfigState {
+	return ConfigState{
+		V: c.V, Layers: c.Layers, Hidden: c.Hidden,
+		Dropout: c.Dropout, Epochs: c.Epochs,
+		LearnRate: c.LearnRate, ClipNorm: c.ClipNorm, InitScale: c.InitScale,
+	}
+}
+
+func (cs ConfigState) config() Config {
+	return Config{
+		V: cs.V, Layers: cs.Layers, Hidden: cs.Hidden,
+		Dropout: cs.Dropout, Epochs: cs.Epochs,
+		LearnRate: cs.LearnRate, ClipNorm: cs.ClipNorm, InitScale: cs.InitScale,
+	}
 }
 
 func (c *Config) fillDefaults() {
@@ -67,6 +111,9 @@ func (c *Config) validate() error {
 	}
 	if c.Epochs < 1 {
 		return fmt.Errorf("gru: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("gru: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
 	}
 	return nil
 }
@@ -261,21 +308,33 @@ type gobModel struct {
 	Wo, Bo            []float64
 }
 
-// Save serializes the model with encoding/gob.
-func (m *Model) Save(w io.Writer) error {
+// gobView builds the serialized form. The slices alias the live model;
+// callers that outlive the model's next mutation must deep-copy.
+func (m *Model) gobView() gobModel {
 	g := gobModel{V: m.V, Layers: m.Layers, Hidden: m.Hidden, Emb: m.Emb.Data, Wo: m.Wo.Data, Bo: m.Bo}
 	for _, c := range m.Cells {
 		g.Cells = append(g.Cells, gobCell{Wx: c.Wx.Data, Wh: c.Wh.Data, B: c.B})
 	}
-	return gob.NewEncoder(w).Encode(g)
+	return g
 }
 
-// Load deserializes a model written by Save.
-func Load(r io.Reader) (*Model, error) {
-	var g gobModel
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("gru: decoding model: %w", err)
+// gobCopy is gobView with every tensor deep-copied, for checkpoints taken
+// while training continues to mutate the parameters.
+func (m *Model) gobCopy() gobModel {
+	g := m.gobView()
+	g.Emb = append([]float64(nil), g.Emb...)
+	g.Wo = append([]float64(nil), g.Wo...)
+	g.Bo = append([]float64(nil), g.Bo...)
+	for i := range g.Cells {
+		g.Cells[i].Wx = append([]float64(nil), g.Cells[i].Wx...)
+		g.Cells[i].Wh = append([]float64(nil), g.Cells[i].Wh...)
+		g.Cells[i].B = append([]float64(nil), g.Cells[i].B...)
 	}
+	return g
+}
+
+// model validates tensor shapes and reassembles a Model.
+func (g *gobModel) model() (*Model, error) {
 	h := g.Hidden
 	if g.V < 1 || h < 1 || g.Layers != len(g.Cells) ||
 		len(g.Emb) != (g.V+1)*h || len(g.Wo) != g.V*h || len(g.Bo) != g.V {
@@ -298,4 +357,25 @@ func Load(r io.Reader) (*Model, error) {
 		})
 	}
 	return m, nil
+}
+
+// Save serializes the model into a checksummed snapshot container of kind
+// KindModel.
+func (m *Model) Save(w io.Writer) error {
+	return snapshot.Write(w, KindModel, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(m.gobView())
+	})
+}
+
+// Load deserializes a model written by Save. Truncated, bit-flipped and
+// wrong-kind files fail the container's integrity checks before any gob
+// decoding runs.
+func Load(r io.Reader) (*Model, error) {
+	var g gobModel
+	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&g)
+	}); err != nil {
+		return nil, fmt.Errorf("gru: loading model: %w", err)
+	}
+	return g.model()
 }

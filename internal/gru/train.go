@@ -1,6 +1,7 @@
 package gru
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -105,50 +106,135 @@ func (g *grads) scale(f float64) {
 	})
 }
 
-// Train fits a GRU language model with Adam, per-sequence updates and
-// global-norm clipping (the same regime as internal/lstm with Adam).
-func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, error) {
-	cfg.fillDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, TrainStats{}, err
-	}
+// validateSeqs range-checks every token against the vocabulary and requires
+// a non-empty training corpus.
+func validateSeqs(v int, train, valid [][]int) error {
 	var nTokens int
 	for si, seq := range train {
 		for _, tok := range seq {
-			if tok < 0 || tok >= cfg.V {
-				return nil, TrainStats{}, fmt.Errorf("gru: train sequence %d token %d outside [0,%d)", si, tok, cfg.V)
+			if tok < 0 || tok >= v {
+				return fmt.Errorf("gru: train sequence %d token %d outside [0,%d)", si, tok, v)
 			}
 		}
 		nTokens += len(seq)
 	}
 	if nTokens == 0 {
-		return nil, TrainStats{}, fmt.Errorf("gru: training corpus has no tokens")
+		return fmt.Errorf("gru: training corpus has no tokens")
 	}
+	for si, seq := range valid {
+		for _, tok := range seq {
+			if tok < 0 || tok >= v {
+				return fmt.Errorf("gru: valid sequence %d token %d outside [0,%d)", si, tok, v)
+			}
+		}
+	}
+	return nil
+}
 
+// optimizer holds the per-tensor Adam moments, keyed by tensor name
+// ("emb", "wo", "bo", "wx<l>", "wh<l>", "b<l>").
+type optimizer map[string]*adam
+
+func newOptimizer(m *Model) optimizer {
+	opt := optimizer{
+		"emb": newAdam(len(m.Emb.Data)),
+		"wo":  newAdam(len(m.Wo.Data)),
+		"bo":  newAdam(len(m.Bo)),
+	}
+	for l, c := range m.Cells {
+		opt[fmt.Sprintf("wx%d", l)] = newAdam(len(c.Wx.Data))
+		opt[fmt.Sprintf("wh%d", l)] = newAdam(len(c.Wh.Data))
+		opt[fmt.Sprintf("b%d", l)] = newAdam(len(c.B))
+	}
+	return opt
+}
+
+// Train fits a GRU language model with Adam, per-sequence updates and
+// global-norm clipping (the same regime as internal/lstm with Adam).
+func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, error) {
+	return TrainContext(context.Background(), cfg, train, valid, g)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked at
+// every epoch boundary, and on cancellation a final checkpoint is handed to
+// cfg.Checkpoint (when set) before returning an error wrapping ctx.Err().
+func TrainContext(ctx context.Context, cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if err := validateSeqs(cfg.V, train, valid); err != nil {
+		return nil, TrainStats{}, err
+	}
 	model := newModel(cfg, g)
+	return trainLoop(ctx, cfg, model, newOptimizer(model), 0, 0, TrainStats{}, train, valid, g)
+}
+
+// Resume continues an interrupted run from a checkpoint. train and valid
+// must be the same sequences the original call received; hooks supplies
+// Progress/Checkpoint/CheckpointEvery for the continued run while the
+// training schedule comes from the checkpoint. A resumed run draws the same
+// random stream as the uninterrupted one, so the final model is
+// bit-identical.
+func Resume(ctx context.Context, ck *Checkpoint, train, valid [][]int, hooks Config) (*Model, TrainStats, error) {
+	cfg := ck.Cfg.config()
+	cfg.Progress = hooks.Progress
+	cfg.Checkpoint = hooks.Checkpoint
+	cfg.CheckpointEvery = hooks.CheckpointEvery
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, fmt.Errorf("gru: checkpoint carries invalid config: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if err := validateSeqs(cfg.V, train, valid); err != nil {
+		return nil, TrainStats{}, err
+	}
+	model, err := ck.Params.model()
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+	opt := newOptimizer(model)
+	if err := opt.restore(ck.Adam); err != nil {
+		return nil, TrainStats{}, err
+	}
+	g, err := rng.FromState(ck.RNG)
+	if err != nil {
+		return nil, TrainStats{}, fmt.Errorf("gru: checkpoint RNG state: %w", err)
+	}
+	stats := TrainStats{
+		TrainLoss:  append([]float64(nil), ck.TrainLoss...),
+		ValidPerpl: append([]float64(nil), ck.ValidPerpl...),
+	}
+	return trainLoop(ctx, cfg, model, opt, ck.Epoch, ck.Step, stats, train, valid, g)
+}
+
+// trainLoop runs epochs startEpoch..Epochs-1 over the model in place.
+func trainLoop(ctx context.Context, cfg Config, model *Model, opt optimizer, startEpoch, startStep int, stats TrainStats, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, error) {
 	gr := newGrads(model)
-	opt := map[string]*adam{
-		"emb": newAdam(len(gr.emb)),
-		"wo":  newAdam(len(gr.wo)),
-		"bo":  newAdam(len(gr.bo)),
-	}
-	for l := range gr.cells {
-		opt[fmt.Sprintf("wx%d", l)] = newAdam(len(gr.cells[l].wx))
-		opt[fmt.Sprintf("wh%d", l)] = newAdam(len(gr.cells[l].wh))
-		opt[fmt.Sprintf("b%d", l)] = newAdam(len(gr.cells[l].b))
-	}
 
 	sp := obs.Start("gru.train")
-	stats := TrainStats{}
 	order := make([]int, len(train))
-	for i := range order {
-		order[i] = i
-	}
-	step := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	step := startStep
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			if cfg.Checkpoint != nil {
+				if cerr := cfg.Checkpoint(snapshotState(&cfg, model, opt, epoch, step, stats, g)); cerr != nil {
+					return nil, stats, fmt.Errorf("gru: writing cancellation checkpoint: %w", cerr)
+				}
+			}
+			return nil, stats, fmt.Errorf("gru: training interrupted after epoch %d/%d: %w", epoch, cfg.Epochs, err)
+		}
 		var epochStart time.Time
 		if cfg.Progress != nil {
 			epochStart = time.Now()
+		}
+		// Reset to the identity before shuffling so the visit order is a pure
+		// function of the RNG state at the epoch boundary — required for
+		// checkpoint resume to replay the identical sequence order.
+		for i := range order {
+			order[i] = i
 		}
 		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var lossSum float64
@@ -197,6 +283,12 @@ func Train(cfg Config, train, valid [][]int, g *rng.RNG) (*Model, TrainStats, er
 				Model: "gru", Iteration: epoch + 1, Total: cfg.Epochs,
 				Loss: meanNLL, TokensPerSec: tps,
 			})
+		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			(epoch+1)%cfg.CheckpointEvery == 0 && epoch+1 < cfg.Epochs {
+			if err := cfg.Checkpoint(snapshotState(&cfg, model, opt, epoch+1, step, stats, g)); err != nil {
+				return nil, stats, fmt.Errorf("gru: checkpoint hook at epoch %d: %w", epoch+1, err)
+			}
 		}
 	}
 	sp.End()

@@ -1,0 +1,214 @@
+package lda
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// modelBytes serializes a model for byte-identity comparison.
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointHookDoesNotPerturbTraining(t *testing.T) {
+	docs := twoTopicDocs(40, rng.New(11))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 10, Iterations: 20}
+
+	plain, err := Train(cfg, docs, nil, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hooked := cfg
+	calls := 0
+	hooked.CheckpointEvery = 4
+	hooked.Checkpoint = func(*Checkpoint) error { calls++; return nil }
+	ckRun, err := Train(hooked, docs, nil, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("checkpoint hook never invoked")
+	}
+	if !bytes.Equal(modelBytes(t, plain), modelBytes(t, ckRun)) {
+		t.Fatal("gob output differs with Checkpoint hook installed")
+	}
+}
+
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	docs := twoTopicDocs(50, rng.New(3))
+	cfg := Config{Topics: 3, V: 10, BurnIn: 8, Iterations: 22, SampleLag: 3}
+
+	straight, err := Train(cfg, docs, nil, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture a mid-run checkpoint, round-trip it through its serialized
+	// form, and resume from it.
+	var mid *Checkpoint
+	hooked := cfg
+	hooked.CheckpointEvery = 13
+	hooked.Checkpoint = func(ck *Checkpoint) error {
+		if mid == nil {
+			mid = ck
+		}
+		return nil
+	}
+	if _, err := Train(hooked, docs, nil, rng.New(99)); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	var buf bytes.Buffer
+	if err := mid.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), loaded, docs, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resumed model differs from uninterrupted run")
+	}
+}
+
+func TestResumeMatchesWithWeights(t *testing.T) {
+	docs := twoTopicDocs(30, rng.New(5))
+	weights := make([][]float64, len(docs))
+	wg := rng.New(8)
+	for d, doc := range docs {
+		weights[d] = make([]float64, len(doc))
+		for i := range doc {
+			weights[d][i] = 0.5 + wg.Float64()
+		}
+	}
+	cfg := Config{Topics: 2, V: 10, BurnIn: 5, Iterations: 15}
+
+	straight, err := Train(cfg, docs, weights, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid *Checkpoint
+	hooked := cfg
+	hooked.CheckpointEvery = 9
+	hooked.Checkpoint = func(ck *Checkpoint) error {
+		mid = ck
+		return nil
+	}
+	if _, err := Train(hooked, docs, weights, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), mid, docs, weights, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resumed TF-IDF model differs from uninterrupted run")
+	}
+}
+
+func TestCancellationWritesFinalCheckpoint(t *testing.T) {
+	docs := twoTopicDocs(30, rng.New(2))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 10, Iterations: 30}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var last *Checkpoint
+	calls := 0
+	cfg.CheckpointEvery = 5
+	cfg.Checkpoint = func(ck *Checkpoint) error {
+		last = ck
+		calls++
+		if calls == 1 {
+			cancel() // cancel mid-run; trainer must flush one final checkpoint
+		}
+		return nil
+	}
+	_, err := TrainContext(ctx, cfg, docs, nil, rng.New(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls < 2 {
+		t.Fatalf("cancellation must write a final checkpoint (calls = %d)", calls)
+	}
+	// The final checkpoint resumes to the same model as a straight run.
+	straight, err := Train(Config{Topics: 2, V: 10, BurnIn: 10, Iterations: 30}, docs, nil, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), last, docs, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resume after cancellation differs from uninterrupted run")
+	}
+}
+
+func TestResumeRejectsWrongCorpus(t *testing.T) {
+	docs := twoTopicDocs(30, rng.New(2))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 5, Iterations: 10, CheckpointEvery: 4}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, err := Train(cfg, docs, nil, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(context.Background(), mid, docs[:10], nil, Config{}); err == nil {
+		t.Fatal("resume with a different corpus must fail")
+	}
+}
+
+func TestCheckpointHookErrorAbortsTraining(t *testing.T) {
+	docs := twoTopicDocs(20, rng.New(2))
+	boom := errors.New("disk full")
+	cfg := Config{Topics: 2, V: 10, BurnIn: 2, Iterations: 10, CheckpointEvery: 3}
+	cfg.Checkpoint = func(*Checkpoint) error { return boom }
+	if _, err := Train(cfg, docs, nil, rng.New(1)); !errors.Is(err, boom) {
+		t.Fatalf("want hook error surfaced, got %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruptState(t *testing.T) {
+	docs := twoTopicDocs(20, rng.New(2))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 2, Iterations: 10, CheckpointEvery: 3}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, err := Train(cfg, docs, nil, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *mid
+	bad.Assignments = append([]int(nil), mid.Assignments...)
+	bad.Assignments[0] = 99 // topic out of range
+	var buf bytes.Buffer
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+
+	bad2 := *mid
+	bad2.PhiAcc = mid.PhiAcc[:3]
+	buf.Reset()
+	if err := bad2.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf); err == nil {
+		t.Fatal("short phi accumulator accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package lda
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzLoad feeds arbitrary bytes to the model loader: truncated and
+// bit-flipped inputs must produce errors, never panics.
+func FuzzLoad(f *testing.F) {
+	docs := twoTopicDocs(10, rng.New(1))
+	m, err := Train(Config{Topics: 2, V: 10, BurnIn: 2, Iterations: 4}, docs, nil, rng.New(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3]) // truncated
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x08
+	f.Add(flipped) // bit-flipped payload
+	f.Add([]byte{})
+	f.Add([]byte("IBSNAP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil && m != nil {
+			t.Fatal("Load returned both a model and an error")
+		}
+		if err == nil && (m.K < 1 || m.V < 1) {
+			t.Fatalf("accepted model with invalid shape %dx%d", m.K, m.V)
+		}
+	})
+}
+
+// FuzzLoadCheckpoint does the same for the checkpoint loader.
+func FuzzLoadCheckpoint(f *testing.F) {
+	docs := twoTopicDocs(10, rng.New(1))
+	cfg := Config{Topics: 2, V: 10, BurnIn: 2, Iterations: 6, CheckpointEvery: 3}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, err := Train(cfg, docs, nil, rng.New(1)); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mid.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := LoadCheckpoint(bytes.NewReader(data))
+		if err == nil {
+			if verr := ck.validate(); verr != nil {
+				t.Fatalf("LoadCheckpoint accepted an invalid checkpoint: %v", verr)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@
 package lda
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -17,6 +18,13 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// Snapshot container kinds for LDA artifacts.
+const (
+	KindModel      = "lda-model"
+	KindCheckpoint = "lda-checkpoint"
 )
 
 var (
@@ -53,6 +61,44 @@ type Config struct {
 	// random-number stream, so trained models are bit-identical with and
 	// without it.
 	Progress obs.Progress
+
+	// Checkpoint, when non-nil, receives a full sampler snapshot every
+	// CheckpointEvery completed sweeps (and once more on context
+	// cancellation). The snapshot owns its memory and stays valid after
+	// training continues. Like Progress, the hook draws no random numbers,
+	// so checkpointed runs train bit-identically to unhooked runs. A hook
+	// error aborts training.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery is the sweep interval between Checkpoint calls;
+	// 0 disables periodic checkpoints (a cancellation checkpoint is still
+	// written when Checkpoint is set).
+	CheckpointEvery int
+}
+
+// ConfigState is the hookless, serializable part of Config that checkpoints
+// embed, so Resume continues under exactly the schedule the run started
+// with.
+type ConfigState struct {
+	Topics, V                     int
+	Alpha, Beta                   float64
+	BurnIn, Iterations, SampleLag int
+	InferIterations               int
+}
+
+func (c *Config) state() ConfigState {
+	return ConfigState{
+		Topics: c.Topics, V: c.V, Alpha: c.Alpha, Beta: c.Beta,
+		BurnIn: c.BurnIn, Iterations: c.Iterations, SampleLag: c.SampleLag,
+		InferIterations: c.InferIterations,
+	}
+}
+
+func (cs ConfigState) config() Config {
+	return Config{
+		Topics: cs.Topics, V: cs.V, Alpha: cs.Alpha, Beta: cs.Beta,
+		BurnIn: cs.BurnIn, Iterations: cs.Iterations, SampleLag: cs.SampleLag,
+		InferIterations: cs.InferIterations,
+	}
 }
 
 func (c *Config) fillDefaults() {
@@ -90,6 +136,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("lda: invalid Gibbs schedule (burnin %d, iters %d, lag %d, infer %d)",
 			c.BurnIn, c.Iterations, c.SampleLag, c.InferIterations)
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("lda: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -102,32 +151,25 @@ type Model struct {
 	InferIters  int
 }
 
-// Train runs collapsed Gibbs sampling on the documents. docs[d] lists the
-// token ids of document d (for the binary install-base input every owned
-// category appears once). weights, when non-nil, gives a positive weight per
-// token (the TF-IDF input variant); nil means unit weights. Documents may be
-// empty; they simply contribute nothing.
-func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, error) {
-	cfg.fillDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+// token is one token-topic assignment of the collapsed sampler.
+type token struct {
+	doc, word int
+	weight    float64
+	topic     int
+}
+
+// buildTokens flattens docs (and optional per-token weights) into sampler
+// tokens, validating ranges. The flattening order is deterministic, which
+// checkpoint/resume relies on to rebind saved assignments to tokens.
+func buildTokens(cfg *Config, docs [][]int, weights [][]float64) ([]token, error) {
 	if weights != nil && len(weights) != len(docs) {
 		return nil, fmt.Errorf("lda: weights length %d != docs length %d", len(weights), len(docs))
-	}
-	k, v := cfg.Topics, cfg.V
-
-	// token-level state
-	type token struct {
-		doc, word int
-		weight    float64
-		topic     int
 	}
 	var tokens []token
 	for d, doc := range docs {
 		for i, w := range doc {
-			if w < 0 || w >= v {
-				return nil, fmt.Errorf("lda: document %d has token %d outside [0,%d)", d, w, v)
+			if w < 0 || w >= cfg.V {
+				return nil, fmt.Errorf("lda: document %d has token %d outside [0,%d)", d, w, cfg.V)
 			}
 			wt := 1.0
 			if weights != nil {
@@ -142,22 +184,140 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 			tokens = append(tokens, token{doc: d, word: w, weight: wt})
 		}
 	}
+	return tokens, nil
+}
 
-	// count matrices (weighted)
-	nzw := mat.New(k, v)         // topic-word
-	nz := make([]float64, k)     // topic totals
-	ndz := mat.New(len(docs), k) // doc-topic
+// sampler is the complete mutable state of one collapsed-Gibbs run; it is
+// what a Checkpoint captures and what Resume reconstructs.
+type sampler struct {
+	cfg     Config
+	tokens  []token
+	nzw     *mat.Matrix // topic-word counts
+	nz      []float64   // topic totals
+	ndz     *mat.Matrix // doc-topic counts
+	phiAcc  *mat.Matrix // posterior-mean accumulator
+	samples int
+	g       *rng.RNG
+}
+
+// rebuildCounts recomputes the count matrices from the current token-topic
+// assignments (their sufficient statistics).
+func (s *sampler) rebuildCounts() {
+	k, v := s.cfg.Topics, s.cfg.V
+	for i := range s.tokens {
+		t := &s.tokens[i]
+		s.nzw.Data[t.topic*v+t.word] += t.weight
+		s.nz[t.topic] += t.weight
+		s.ndz.Data[t.doc*k+t.topic] += t.weight
+	}
+}
+
+// snapshotState captures the sampler at a completed-sweep boundary. All
+// slices are copied, so the checkpoint stays valid while training continues.
+func (s *sampler) snapshotState(sweep int) *Checkpoint {
+	ck := &Checkpoint{
+		Cfg:     s.cfg.state(),
+		Sweep:   sweep,
+		Samples: s.samples,
+		PhiAcc:  append([]float64(nil), s.phiAcc.Data...),
+		RNG:     s.g.State(),
+	}
+	ck.Assignments = make([]int, len(s.tokens))
+	for i := range s.tokens {
+		ck.Assignments[i] = s.tokens[i].topic
+	}
+	return ck
+}
+
+// Train runs collapsed Gibbs sampling on the documents. docs[d] lists the
+// token ids of document d (for the binary install-base input every owned
+// category appears once). weights, when non-nil, gives a positive weight per
+// token (the TF-IDF input variant); nil means unit weights. Documents may be
+// empty; they simply contribute nothing.
+func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, error) {
+	return TrainContext(context.Background(), cfg, docs, weights, g)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked at
+// every sweep boundary, and on cancellation a final checkpoint is handed to
+// cfg.Checkpoint (when set) before returning an error wrapping ctx.Err().
+func TrainContext(ctx context.Context, cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tokens, err := buildTokens(&cfg, docs, weights)
+	if err != nil {
+		return nil, err
+	}
+	k, v := cfg.Topics, cfg.V
+	s := &sampler{
+		cfg: cfg, tokens: tokens, g: g,
+		nzw: mat.New(k, v), nz: make([]float64, k), ndz: mat.New(len(docs), k),
+		phiAcc: mat.New(k, v),
+	}
+	// random initialization
+	for i := range s.tokens {
+		s.tokens[i].topic = g.Intn(k)
+	}
+	s.rebuildCounts()
+	return s.run(ctx, 0)
+}
+
+// Resume continues an interrupted run from a checkpoint. docs and weights
+// must be the same inputs the original Train call received (the checkpoint
+// stores assignments per token, not the corpus itself); hooks supplies
+// Progress/Checkpoint/CheckpointEvery for the continued run while the
+// training schedule comes from the checkpoint. A resumed run draws the same
+// random stream as the uninterrupted one, so the final model is
+// bit-identical.
+func Resume(ctx context.Context, ck *Checkpoint, docs [][]int, weights [][]float64, hooks Config) (*Model, error) {
+	cfg := ck.Cfg.config()
+	cfg.Progress = hooks.Progress
+	cfg.Checkpoint = hooks.Checkpoint
+	cfg.CheckpointEvery = hooks.CheckpointEvery
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("lda: checkpoint carries invalid config: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	tokens, err := buildTokens(&cfg, docs, weights)
+	if err != nil {
+		return nil, err
+	}
+	if len(tokens) != len(ck.Assignments) {
+		return nil, fmt.Errorf("lda: checkpoint has %d token assignments but corpus has %d tokens — resume needs the original corpus",
+			len(ck.Assignments), len(tokens))
+	}
+	for i, z := range ck.Assignments {
+		tokens[i].topic = z
+	}
+	g, err := rng.FromState(ck.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("lda: checkpoint RNG state: %w", err)
+	}
+	k, v := cfg.Topics, cfg.V
+	s := &sampler{
+		cfg: cfg, tokens: tokens, g: g,
+		nzw: mat.New(k, v), nz: make([]float64, k), ndz: mat.New(len(docs), k),
+		phiAcc:  mat.FromSlice(k, v, append([]float64(nil), ck.PhiAcc...)),
+		samples: ck.Samples,
+	}
+	s.rebuildCounts()
+	return s.run(ctx, ck.Sweep)
+}
+
+// run executes Gibbs sweeps startSweep..total-1 and finalizes the model.
+func (s *sampler) run(ctx context.Context, startSweep int) (*Model, error) {
+	cfg := s.cfg
+	k, v := cfg.Topics, cfg.V
+	tokens := s.tokens
+	nzw, nz, ndz := s.nzw, s.nz, s.ndz
 	alpha, beta := cfg.Alpha, cfg.Beta
 	vbeta := float64(v) * beta
-
-	// random initialization
-	for i := range tokens {
-		t := &tokens[i]
-		t.topic = g.Intn(k)
-		nzw.Data[t.topic*v+t.word] += t.weight
-		nz[t.topic] += t.weight
-		ndz.Data[t.doc*k+t.topic] += t.weight
-	}
+	phiAcc := s.phiAcc
+	g := s.g
 
 	sp := obs.Start("lda.train")
 	// The progress hook's in-sample log-likelihood reads the current count
@@ -166,7 +326,7 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 	// scan are skipped entirely when the hook is unset.
 	var logLik func() float64
 	if cfg.Progress != nil {
-		docW := make([]float64, len(docs))
+		docW := make([]float64, ndz.Rows)
 		for i := range tokens {
 			docW[tokens[i].doc] += tokens[i].weight
 		}
@@ -187,10 +347,16 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 	}
 
 	probs := make([]float64, k)
-	phiAcc := mat.New(k, v)
-	samples := 0
 	total := cfg.BurnIn + cfg.Iterations
-	for sweep := 0; sweep < total; sweep++ {
+	for sweep := startSweep; sweep < total; sweep++ {
+		if err := ctx.Err(); err != nil {
+			if cfg.Checkpoint != nil {
+				if cerr := cfg.Checkpoint(s.snapshotState(sweep)); cerr != nil {
+					return nil, fmt.Errorf("lda: writing cancellation checkpoint: %w", cerr)
+				}
+			}
+			return nil, fmt.Errorf("lda: training interrupted after sweep %d/%d: %w", sweep, total, err)
+		}
 		var sweepStart time.Time
 		if cfg.Progress != nil {
 			sweepStart = time.Now()
@@ -233,26 +399,33 @@ func Train(cfg Config, docs [][]int, weights [][]float64, g *rng.RNG) (*Model, e
 					phiAcc.Data[z*v+w] += (nzw.Data[z*v+w] + beta) / denom
 				}
 			}
-			samples++
+			s.samples++
+		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			(sweep+1)%cfg.CheckpointEvery == 0 && sweep+1 < total {
+			if err := cfg.Checkpoint(s.snapshotState(sweep + 1)); err != nil {
+				return nil, fmt.Errorf("lda: checkpoint hook after sweep %d: %w", sweep+1, err)
+			}
 		}
 	}
-	if samples == 0 { // schedule too short to sample; use final state
+	if s.samples == 0 { // schedule too short to sample; use final state
 		for z := 0; z < k; z++ {
 			denom := nz[z] + vbeta
 			for w := 0; w < v; w++ {
 				phiAcc.Data[z*v+w] += (nzw.Data[z*v+w] + beta) / denom
 			}
 		}
-		samples = 1
+		s.samples = 1
 	}
-	phiAcc.Scale(1 / float64(samples))
+	out := phiAcc.Clone()
+	out.Scale(1 / float64(s.samples))
 	// normalize rows exactly
 	for z := 0; z < k; z++ {
-		mat.Normalize(phiAcc.Row(z))
+		mat.Normalize(out.Row(z))
 	}
 	trainRuns.Inc()
 	sp.End()
-	return &Model{K: k, V: v, Alpha: alpha, Beta: beta, Phi: phiAcc, InferIters: cfg.InferIterations}, nil
+	return &Model{K: k, V: v, Alpha: alpha, Beta: beta, Phi: out, InferIters: cfg.InferIterations}, nil
 }
 
 // InferTheta estimates the topic mixture of a (possibly unseen) document by
@@ -425,19 +598,26 @@ type gobModel struct {
 	InferIters  int
 }
 
-// Save serializes the model with encoding/gob.
+// Save serializes the model into a checksummed snapshot container of kind
+// KindModel.
 func (m *Model) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(gobModel{
-		K: m.K, V: m.V, Alpha: m.Alpha, Beta: m.Beta,
-		PhiData: m.Phi.Data, InferIters: m.InferIters,
+	return snapshot.Write(w, KindModel, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(gobModel{
+			K: m.K, V: m.V, Alpha: m.Alpha, Beta: m.Beta,
+			PhiData: m.Phi.Data, InferIters: m.InferIters,
+		})
 	})
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save. Truncated, bit-flipped and
+// wrong-kind files fail the container's integrity checks before any gob
+// decoding runs.
 func Load(r io.Reader) (*Model, error) {
 	var g gobModel
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("lda: decoding model: %w", err)
+	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&g)
+	}); err != nil {
+		return nil, fmt.Errorf("lda: loading model: %w", err)
 	}
 	if g.K < 1 || g.V < 1 || len(g.PhiData) != g.K*g.V {
 		return nil, fmt.Errorf("lda: corrupt model (K=%d, V=%d, phi=%d)", g.K, g.V, len(g.PhiData))
@@ -446,4 +626,75 @@ func Load(r io.Reader) (*Model, error) {
 		K: g.K, V: g.V, Alpha: g.Alpha, Beta: g.Beta,
 		Phi: mat.FromSlice(g.K, g.V, g.PhiData), InferIters: g.InferIters,
 	}, nil
+}
+
+// Checkpoint is a complete sampler snapshot at a sweep boundary: resuming
+// from it replays the remaining sweeps on the identical random stream, so
+// the final model matches an uninterrupted run byte for byte.
+type Checkpoint struct {
+	Cfg         ConfigState
+	Sweep       int   // completed sweeps
+	Assignments []int // per-token topic assignment, in corpus order
+	PhiAcc      []float64
+	Samples     int
+	RNG         [4]uint64
+}
+
+// validate checks internal consistency (corpus-dependent checks happen in
+// Resume once the documents are known).
+func (ck *Checkpoint) validate() error {
+	cfg := ck.Cfg.config()
+	if err := cfg.validate(); err != nil {
+		return fmt.Errorf("lda: checkpoint config: %w", err)
+	}
+	total := cfg.BurnIn + cfg.Iterations
+	if ck.Sweep < 0 || ck.Sweep > total {
+		return fmt.Errorf("lda: checkpoint sweep %d outside schedule of %d", ck.Sweep, total)
+	}
+	if ck.Samples < 0 {
+		return fmt.Errorf("lda: checkpoint has negative sample count %d", ck.Samples)
+	}
+	if len(ck.PhiAcc) != cfg.Topics*cfg.V {
+		return fmt.Errorf("lda: checkpoint phi accumulator has %d entries, want %d",
+			len(ck.PhiAcc), cfg.Topics*cfg.V)
+	}
+	for i, z := range ck.Assignments {
+		if z < 0 || z >= cfg.Topics {
+			return fmt.Errorf("lda: checkpoint assignment %d is topic %d outside [0,%d)", i, z, cfg.Topics)
+		}
+	}
+	return nil
+}
+
+// Save serializes the checkpoint into a snapshot container of kind
+// KindCheckpoint.
+func (ck *Checkpoint) Save(w io.Writer) error {
+	return snapshot.Write(w, KindCheckpoint, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(ck)
+	})
+}
+
+// LoadCheckpoint deserializes and validates a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := snapshot.Read(r, KindCheckpoint, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(ck)
+	}); err != nil {
+		return nil, fmt.Errorf("lda: loading checkpoint: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// gob assigns wire type ids from a process-global registry at first encode,
+// so a model encoded after a checkpoint would carry different type ids than
+// one encoded in a fresh process. Pin this package's wire types in a fixed
+// order at init so model files are byte-identical regardless of what else
+// the process encoded first.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	_ = enc.Encode(gobModel{})
+	_ = enc.Encode(Checkpoint{})
 }

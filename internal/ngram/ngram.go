@@ -10,7 +10,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/snapshot"
 )
+
+// KindModel is the snapshot container kind for serialized n-gram models.
+const KindModel = "ngram-model"
 
 // BOS is the synthetic begin-of-sequence token id used for conditioning the
 // first real tokens; it never appears as a predicted symbol.
@@ -218,16 +223,36 @@ type gobModel struct {
 	TriTotal map[[2]int]float64
 }
 
-// Save serializes the model with encoding/gob.
+// Save serializes the model into a checksummed snapshot container of kind
+// KindModel.
 func (m *Model) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(gobModel(*m))
+	return snapshot.Write(w, KindModel, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(gobModel(*m))
+	})
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save, rejecting containers whose
+// payload decodes to an inconsistent model.
 func Load(r io.Reader) (*Model, error) {
 	var g gobModel
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("ngram: decoding model: %w", err)
+	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&g)
+	}); err != nil {
+		return nil, fmt.Errorf("ngram: loading model: %w", err)
+	}
+	if g.Order < 1 || g.Order > 3 || g.V < 1 ||
+		len(g.Lambda) != g.Order || len(g.UniCount) != g.V {
+		return nil, fmt.Errorf("ngram: corrupt model (order %d, V %d)", g.Order, g.V)
+	}
+	for _, counts := range g.BiCount {
+		if len(counts) != g.V {
+			return nil, fmt.Errorf("ngram: corrupt bigram table")
+		}
+	}
+	for _, counts := range g.TriCount {
+		if len(counts) != g.V {
+			return nil, fmt.Errorf("ngram: corrupt trigram table")
+		}
 	}
 	m := Model(g)
 	return &m, nil

@@ -8,9 +8,11 @@ package plot
 
 import (
 	"fmt"
+	"io"
 	"math"
-	"os"
 	"strings"
+
+	"repro/internal/snapshot"
 )
 
 // Series is one named line of a line chart.
@@ -260,7 +262,11 @@ func escape(s string) string {
 	return r.Replace(s)
 }
 
-// WriteFile writes svg content to path.
+// WriteFile writes svg content to path atomically (temp file + fsync +
+// rename), so an interrupted run never leaves a truncated figure behind.
 func WriteFile(path, svg string) error {
-	return os.WriteFile(path, []byte(svg), 0o644)
+	return snapshot.Atomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, svg)
+		return err
+	})
 }

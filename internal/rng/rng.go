@@ -8,22 +8,86 @@
 package rng
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 
 	"repro/internal/mat"
 )
 
-// RNG is a deterministic pseudo-random generator. It wraps math/rand with a
-// fixed source so results do not depend on global state.
+// RNG is a deterministic pseudo-random generator. It wraps math/rand's
+// distribution machinery around a xoshiro256** source whose full state is
+// four uint64 words, so a generator can be checkpointed mid-stream with
+// State and reconstructed bit-exactly with FromState (the property the
+// trainers' checkpoint/resume paths rely on).
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	src *xoshiro
+}
+
+// xoshiro is the xoshiro256** generator (Blackman & Vigna 2018). It
+// implements rand.Source64. The wrapping rand.Rand keeps no hidden state of
+// its own for the methods this package exposes (rand.Rand only buffers for
+// Read, which RNG never calls), so the four state words are the complete
+// generator state.
+type xoshiro struct {
+	s [4]uint64
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+func (x *xoshiro) Uint64() uint64 {
+	s := &x.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+// Seed initializes the state from a 64-bit seed by running splitmix64, the
+// initialization Vigna recommends; it never produces the all-zero state.
+func (x *xoshiro) Seed(seed int64) {
+	z := uint64(seed)
+	for i := range x.s {
+		z += 0x9e3779b97f4a7c15
+		w := z
+		w = (w ^ w>>30) * 0xbf58476d1ce4e5b9
+		w = (w ^ w>>27) * 0x94d049bb133111eb
+		x.s[i] = w ^ w>>31
+	}
 }
 
 // New returns an RNG seeded with seed.
 func New(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &xoshiro{}
+	src.Seed(seed)
+	return &RNG{r: rand.New(src), src: src}
 }
+
+// State returns the generator's complete internal state. Restoring it with
+// FromState yields a generator that continues the exact same stream.
+func (g *RNG) State() [4]uint64 {
+	return g.src.s
+}
+
+// FromState reconstructs a generator from a State snapshot. The all-zero
+// state (a fixed point of xoshiro that State can never return) is rejected.
+func FromState(s [4]uint64) (*RNG, error) {
+	if s == ([4]uint64{}) {
+		return nil, errAllZeroState
+	}
+	src := &xoshiro{s: s}
+	return &RNG{r: rand.New(src), src: src}, nil
+}
+
+var errAllZeroState = errors.New("rng: all-zero state is not a valid xoshiro256** state")
 
 // Split derives an independent child generator from the current stream.
 // Use it to give sub-tasks (e.g. per-company generation) their own streams

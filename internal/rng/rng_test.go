@@ -327,3 +327,45 @@ func TestExponentialMean(t *testing.T) {
 		t.Fatalf("Exponential(2) mean = %v, want 0.5", mean)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	g := New(42)
+	// Burn a mixed workload so the state is mid-stream, not fresh.
+	for i := 0; i < 100; i++ {
+		g.Float64()
+		g.Norm()
+		g.Intn(7 + i)
+		g.Gamma(0.5 + float64(i))
+	}
+	st := g.State()
+	h, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := g.Float64(), h.Float64(); a != b {
+			t.Fatalf("stream diverged at %d: %v != %v", i, a, b)
+		}
+		if a, b := g.Norm(), h.Norm(); a != b {
+			t.Fatalf("Norm diverged at %d: %v != %v", i, a, b)
+		}
+		if a, b := g.Intn(1000), h.Intn(1000); a != b {
+			t.Fatalf("Intn diverged at %d: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestStateDoesNotAliasGenerator(t *testing.T) {
+	g := New(1)
+	st := g.State()
+	g.Float64()
+	if st == g.State() {
+		t.Fatal("State snapshot should be decoupled from the live generator")
+	}
+}
+
+func TestFromStateRejectsAllZero(t *testing.T) {
+	if _, err := FromState([4]uint64{}); err == nil {
+		t.Fatal("all-zero state must be rejected")
+	}
+}

@@ -1,0 +1,177 @@
+package sgns
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// ckDocs builds small install bases with co-occurrence structure.
+func ckDocs(n, v int, g *rng.RNG) [][]int {
+	docs := make([][]int, n)
+	for i := range docs {
+		docs[i] = make([]int, 2+g.Intn(4))
+		for j := range docs[i] {
+			docs[i][j] = g.Intn(v)
+		}
+	}
+	return docs
+}
+
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointHookDoesNotPerturbTraining(t *testing.T) {
+	docs := ckDocs(15, 6, rng.New(3))
+	cfg := Config{V: 6, Dim: 4, Epochs: 6}
+
+	plain, err := Train(cfg, docs, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := cfg
+	calls := 0
+	hooked.CheckpointEvery = 2
+	hooked.Checkpoint = func(*Checkpoint) error { calls++; return nil }
+	ckRun, err := Train(hooked, docs, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("checkpoint hook never invoked")
+	}
+	if !bytes.Equal(modelBytes(t, plain), modelBytes(t, ckRun)) {
+		t.Fatal("gob output differs with Checkpoint hook installed")
+	}
+}
+
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	docs := ckDocs(20, 6, rng.New(5))
+	cfg := Config{V: 6, Dim: 5, Epochs: 8}
+
+	straight, err := Train(cfg, docs, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mid *Checkpoint
+	hooked := cfg
+	hooked.CheckpointEvery = 3
+	hooked.Checkpoint = func(ck *Checkpoint) error {
+		if mid == nil {
+			mid = ck
+		}
+		return nil
+	}
+	if _, err := Train(hooked, docs, rng.New(99)); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	var buf bytes.Buffer
+	if err := mid.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), loaded, docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resumed model differs from uninterrupted run")
+	}
+}
+
+func TestCancellationWritesFinalCheckpoint(t *testing.T) {
+	docs := ckDocs(15, 5, rng.New(2))
+	cfg := Config{V: 5, Dim: 4, Epochs: 10}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var last *Checkpoint
+	calls := 0
+	cfg.CheckpointEvery = 2
+	cfg.Checkpoint = func(ck *Checkpoint) error {
+		last = ck
+		calls++
+		if calls == 1 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := TrainContext(ctx, cfg, docs, rng.New(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls < 2 {
+		t.Fatalf("cancellation must write a final checkpoint (calls = %d)", calls)
+	}
+	straight, err := Train(Config{V: 5, Dim: 4, Epochs: 10}, docs, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), last, docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, straight), modelBytes(t, resumed)) {
+		t.Fatal("resume after cancellation differs from uninterrupted run")
+	}
+}
+
+func TestResumeRejectsWrongCorpus(t *testing.T) {
+	docs := ckDocs(15, 5, rng.New(2))
+	cfg := Config{V: 5, Dim: 4, Epochs: 6, CheckpointEvery: 2}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, err := Train(cfg, docs, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A single tiny document yields fewer total pairs than the checkpoint's
+	// step counter implies, so the schedule no longer fits.
+	if _, err := Resume(context.Background(), mid, [][]int{{0, 1}}, Config{}); err == nil {
+		t.Fatal("resume with a much smaller corpus must fail")
+	}
+}
+
+func TestCheckpointHookErrorAbortsTraining(t *testing.T) {
+	docs := ckDocs(15, 5, rng.New(2))
+	boom := errors.New("disk full")
+	cfg := Config{V: 5, Dim: 4, Epochs: 6, CheckpointEvery: 2}
+	cfg.Checkpoint = func(*Checkpoint) error { return boom }
+	if _, err := Train(cfg, docs, rng.New(1)); !errors.Is(err, boom) {
+		t.Fatalf("want hook error surfaced, got %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruptState(t *testing.T) {
+	docs := ckDocs(15, 5, rng.New(2))
+	cfg := Config{V: 5, Dim: 4, Epochs: 6, CheckpointEvery: 2}
+	var mid *Checkpoint
+	cfg.Checkpoint = func(ck *Checkpoint) error { mid = ck; return nil }
+	if _, err := Train(cfg, docs, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *mid
+	bad.In = mid.In[:3]
+	var buf bytes.Buffer
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf); err == nil {
+		t.Fatal("truncated embedding matrix accepted")
+	}
+}

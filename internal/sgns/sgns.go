@@ -10,6 +10,7 @@
 package sgns
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -19,6 +20,13 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// Snapshot container kinds for SGNS artifacts.
+const (
+	KindModel      = "sgns-model"
+	KindCheckpoint = "sgns-checkpoint"
 )
 
 var (
@@ -46,6 +54,41 @@ type Config struct {
 	// computed by the update rule and the hook draws no random numbers, so
 	// trained embeddings are bit-identical with and without it.
 	Progress obs.Progress
+
+	// Checkpoint, when non-nil, receives a full snapshot of both embedding
+	// matrices and the RNG state every CheckpointEvery completed epochs (and
+	// once more on context cancellation). The snapshot owns its memory; the
+	// hook draws no random numbers, so checkpointed runs train
+	// bit-identically to unhooked runs. A hook error aborts training.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery is the epoch interval between Checkpoint calls;
+	// 0 disables periodic checkpoints (a cancellation checkpoint is still
+	// written when Checkpoint is set).
+	CheckpointEvery int
+}
+
+// ConfigState is the hookless, serializable part of Config that checkpoints
+// embed, so Resume continues under exactly the schedule the run started
+// with.
+type ConfigState struct {
+	V, Dim            int
+	Epochs, Negatives int
+	LearnRate         float64
+	NoisePower        float64
+}
+
+func (c *Config) state() ConfigState {
+	return ConfigState{
+		V: c.V, Dim: c.Dim, Epochs: c.Epochs, Negatives: c.Negatives,
+		LearnRate: c.LearnRate, NoisePower: c.NoisePower,
+	}
+}
+
+func (cs ConfigState) config() Config {
+	return Config{
+		V: cs.V, Dim: cs.Dim, Epochs: cs.Epochs, Negatives: cs.Negatives,
+		LearnRate: cs.LearnRate, NoisePower: cs.NoisePower,
+	}
 }
 
 func (c *Config) fillDefaults() {
@@ -73,6 +116,9 @@ func (c *Config) validate() error {
 	if c.Epochs < 1 || c.Negatives < 1 || c.LearnRate <= 0 {
 		return fmt.Errorf("sgns: invalid schedule (epochs %d, neg %d, lr %v)", c.Epochs, c.Negatives, c.LearnRate)
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("sgns: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -83,22 +129,14 @@ type Model struct {
 	In, Out *mat.Matrix // V x Dim
 }
 
-// Train learns embeddings from companies' product sets: every ordered pair
-// of distinct products within one company is a (target, context) positive
-// example (install bases are small, so the window is the whole set —
-// matching how the paper treats a company as the context unit).
-func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
-	cfg.fillDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	// materialize positive pairs and the noise distribution
-	var pairs [][2]int
+// buildPairs materializes the positive (target, context) pairs and the
+// negative-sampling noise distribution from the documents.
+func buildPairs(cfg *Config, docs [][]int) (pairs [][2]int, noise []float64, err error) {
 	freq := make([]float64, cfg.V)
 	for di, doc := range docs {
 		for _, w := range doc {
 			if w < 0 || w >= cfg.V {
-				return nil, fmt.Errorf("sgns: doc %d token %d outside [0,%d)", di, w, cfg.V)
+				return nil, nil, fmt.Errorf("sgns: doc %d token %d outside [0,%d)", di, w, cfg.V)
 			}
 			freq[w]++
 		}
@@ -111,11 +149,34 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 		}
 	}
 	if len(pairs) == 0 {
-		return nil, fmt.Errorf("sgns: no co-occurrence pairs (documents too small)")
+		return nil, nil, fmt.Errorf("sgns: no co-occurrence pairs (documents too small)")
 	}
-	noise := make([]float64, cfg.V)
+	noise = make([]float64, cfg.V)
 	for w, f := range freq {
 		noise[w] = math.Pow(f, cfg.NoisePower)
+	}
+	return pairs, noise, nil
+}
+
+// Train learns embeddings from companies' product sets: every ordered pair
+// of distinct products within one company is a (target, context) positive
+// example (install bases are small, so the window is the whole set —
+// matching how the paper treats a company as the context unit).
+func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
+	return TrainContext(context.Background(), cfg, docs, g)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked at
+// every epoch boundary, and on cancellation a final checkpoint is handed to
+// cfg.Checkpoint (when set) before returning an error wrapping ctx.Err().
+func TrainContext(ctx context.Context, cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pairs, noise, err := buildPairs(&cfg, docs)
+	if err != nil {
+		return nil, err
 	}
 
 	m := &Model{V: cfg.V, Dim: cfg.Dim, In: mat.New(cfg.V, cfg.Dim), Out: mat.New(cfg.V, cfg.Dim)}
@@ -124,21 +185,73 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 		m.In.Data[i] = (2*g.Float64() - 1) * scale
 	}
 	// Out starts at zero, the word2vec convention.
+	return trainLoop(ctx, cfg, m, pairs, noise, 0, 0, g)
+}
 
+// Resume continues an interrupted run from a checkpoint. docs must be the
+// same documents the original call received; hooks supplies
+// Progress/Checkpoint/CheckpointEvery for the continued run while the
+// training schedule comes from the checkpoint. A resumed run draws the same
+// random stream as the uninterrupted one, so the final model is
+// bit-identical.
+func Resume(ctx context.Context, ck *Checkpoint, docs [][]int, hooks Config) (*Model, error) {
+	cfg := ck.Cfg.config()
+	cfg.Progress = hooks.Progress
+	cfg.Checkpoint = hooks.Checkpoint
+	cfg.CheckpointEvery = hooks.CheckpointEvery
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("sgns: checkpoint carries invalid config: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	pairs, noise, err := buildPairs(&cfg, docs)
+	if err != nil {
+		return nil, err
+	}
+	if want := cfg.Epochs * len(pairs); ck.Step > want {
+		return nil, fmt.Errorf("sgns: checkpoint step %d exceeds schedule (%d pairs x %d epochs)", ck.Step, len(pairs), cfg.Epochs)
+	}
+	m := &Model{
+		V: cfg.V, Dim: cfg.Dim,
+		In:  mat.FromSlice(cfg.V, cfg.Dim, append([]float64(nil), ck.In...)),
+		Out: mat.FromSlice(cfg.V, cfg.Dim, append([]float64(nil), ck.Out...)),
+	}
+	g, err := rng.FromState(ck.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("sgns: checkpoint RNG state: %w", err)
+	}
+	return trainLoop(ctx, cfg, m, pairs, noise, ck.Epoch, ck.Step, g)
+}
+
+// trainLoop runs epochs startEpoch..Epochs-1 over the model in place.
+func trainLoop(ctx context.Context, cfg Config, m *Model, pairs [][2]int, noise []float64, startEpoch, startStep int, g *rng.RNG) (*Model, error) {
 	sp := obs.Start("sgns.train")
 	total := cfg.Epochs * len(pairs)
-	step := 0
+	step := startStep
 	order := make([]int, len(pairs))
-	for i := range order {
-		order[i] = i
-	}
 	gradIn := make([]float64, cfg.Dim)
 	track := cfg.Progress != nil
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			if cfg.Checkpoint != nil {
+				if cerr := cfg.Checkpoint(snapshotState(&cfg, m, epoch, step, g)); cerr != nil {
+					return nil, fmt.Errorf("sgns: writing cancellation checkpoint: %w", cerr)
+				}
+			}
+			return nil, fmt.Errorf("sgns: training interrupted after epoch %d/%d: %w", epoch, cfg.Epochs, err)
+		}
 		var epochStart time.Time
 		var epochLoss float64
 		if track {
 			epochStart = time.Now()
+		}
+		// Reset to the identity before shuffling so the visit order is a pure
+		// function of the RNG state at the epoch boundary — required for
+		// checkpoint resume to replay the identical pair order.
+		for i := range order {
+			order[i] = i
 		}
 		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, pi := range order {
@@ -194,6 +307,12 @@ func Train(cfg Config, docs [][]int, g *rng.RNG) (*Model, error) {
 				Model: "sgns", Iteration: epoch + 1, Total: cfg.Epochs,
 				Loss: epochLoss / float64(len(pairs)), TokensPerSec: pps,
 			})
+		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			(epoch+1)%cfg.CheckpointEvery == 0 && epoch+1 < cfg.Epochs {
+			if err := cfg.Checkpoint(snapshotState(&cfg, m, epoch+1, step, g)); err != nil {
+				return nil, fmt.Errorf("sgns: checkpoint hook at epoch %d: %w", epoch+1, err)
+			}
 		}
 	}
 	sp.End()
@@ -283,16 +402,23 @@ type gobModel struct {
 	In, Out []float64
 }
 
-// Save serializes the model with encoding/gob.
+// Save serializes the model into a checksummed snapshot container of kind
+// KindModel.
 func (m *Model) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(gobModel{V: m.V, Dim: m.Dim, In: m.In.Data, Out: m.Out.Data})
+	return snapshot.Write(w, KindModel, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(gobModel{V: m.V, Dim: m.Dim, In: m.In.Data, Out: m.Out.Data})
+	})
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save. Truncated, bit-flipped and
+// wrong-kind files fail the container's integrity checks before any gob
+// decoding runs.
 func Load(r io.Reader) (*Model, error) {
 	var g gobModel
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("sgns: decoding model: %w", err)
+	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&g)
+	}); err != nil {
+		return nil, fmt.Errorf("sgns: loading model: %w", err)
 	}
 	if g.V < 2 || g.Dim < 1 || len(g.In) != g.V*g.Dim || len(g.Out) != g.V*g.Dim {
 		return nil, fmt.Errorf("sgns: corrupt model")

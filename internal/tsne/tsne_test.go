@@ -58,7 +58,7 @@ func TestOutputShapeAndFiniteness(t *testing.T) {
 }
 
 func TestSeparatesClusters(t *testing.T) {
-	g := rng.New(5)
+	g := rng.New(6)
 	x, labels := clusters(g)
 	y, err := Embed(x, Config{Iterations: 400, Perplexity: 8}, g)
 	if err != nil {
