@@ -32,11 +32,13 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 var logger *slog.Logger
@@ -57,8 +59,10 @@ func main() {
 		svgDir     = flag.String("svgdir", "", "also write each figure as an SVG chart into this directory")
 		metricsOut = flag.String("metrics-out", "", "write a final JSON metrics snapshot to this path")
 	)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel grids/scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	var stopDebug func()
 	logger, stopDebug = obsFlags.Init("ibeval")

@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -31,6 +32,7 @@ import (
 	hiddenlayer "repro"
 	"repro/internal/lda"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 var logger *slog.Logger
@@ -74,8 +76,10 @@ func main() {
 		fMinRev = flag.Float64("min-revenue", 0, "filter: minimum revenue (M USD)")
 		fMaxRev = flag.Float64("max-revenue", 0, "filter: maximum revenue (M USD)")
 	)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel grids/scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	var stopDebug func()
 	logger, stopDebug = obsFlags.Init("ibrec")

@@ -42,6 +42,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/bpmf"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/lstm"
 	"repro/internal/ngram"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sgns"
 	"repro/internal/snapshot"
@@ -149,8 +151,10 @@ func main() {
 
 		metricsOut = flag.String("metrics-out", "", "write a final JSON metrics snapshot to this path")
 	)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel grids/scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	var stopDebug func()
 	logger, stopDebug = obsFlags.Init("ibtrain")

@@ -25,6 +25,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/lda"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -121,20 +122,38 @@ func SelectLDAContext(ctx context.Context, c *Corpus, grid []int, seed int64, pr
 	}
 	trainDocs := split.Train.Sets()
 	validDocs := split.Valid.Sets()
-	sel := &ModelSelection{}
-	best := -1.0
-	for _, k := range grid {
+	// Pre-split one (train, perplexity) RNG pair per topic count, in the
+	// sequential grid order, so every candidate sees the exact stream it saw
+	// when the sweep was single-threaded — the fan-out below is then
+	// bit-identical at any worker count.
+	type cellRNG struct{ train, perp *rng.RNG }
+	streams := make([]cellRNG, len(grid))
+	for i, k := range grid {
 		if k < 1 {
 			return nil, fmt.Errorf("hiddenlayer: invalid topic count %d", k)
 		}
-		m, err := lda.TrainContext(ctx, lda.Config{Topics: k, V: c.M(), Progress: progress}, trainDocs, nil, g.Split())
+		streams[i] = cellRNG{train: g.Split(), perp: g.Split()}
+	}
+	type cellOut struct {
+		model *lda.Model
+		perp  float64
+	}
+	cells, err := par.Map(ctx, len(grid), func(i int) (cellOut, error) {
+		m, err := lda.TrainContext(ctx, lda.Config{Topics: grid[i], V: c.M(), Progress: progress}, trainDocs, nil, streams[i].train)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		p := m.Perplexity(validDocs, g.Split())
-		sel.Curve = append(sel.Curve, TopicPerplexity{Topics: k, Perplexity: p})
-		if sel.Model == nil || p < best {
-			sel.Model, best = m, p
+		return cellOut{model: m, perp: m.Perplexity(validDocs, streams[i].perp)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sel := &ModelSelection{}
+	best := -1.0
+	for i, cell := range cells {
+		sel.Curve = append(sel.Curve, TopicPerplexity{Topics: grid[i], Perplexity: cell.perp})
+		if sel.Model == nil || cell.perp < best {
+			sel.Model, best = cell.model, cell.perp
 		}
 	}
 	return sel, nil

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/snapshot"
 )
@@ -261,7 +262,10 @@ func trainLoop(ctx context.Context, cfg Config, ratings []Rating, byUser, byItem
 			return nil, fmt.Errorf("bpmf: sampling item factors: %w", err)
 		}
 		if sweep >= cfg.Burn {
-			for i := 0; i < n; i++ {
+			// Score accumulation is RNG-free and each task touches only its
+			// own accumulator row with unchanged per-row arithmetic order, so
+			// the fan-out is bit-identical at any worker count.
+			_ = par.ForEach(context.Background(), n, func(i int) error {
 				urow := u.Row(i)
 				srow := scoreAcc.Row(i)
 				for j := 0; j < mItems; j++ {
@@ -274,7 +278,8 @@ func trainLoop(ctx context.Context, cfg Config, ratings []Rating, byUser, byItem
 					}
 					srow[j] += p
 				}
-			}
+				return nil
+			})
 			kept++
 		}
 		trainSweeps.Inc()

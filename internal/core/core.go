@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Serving-path metrics. Candidate counters are accumulated locally per query
@@ -147,35 +149,136 @@ func (ix *Index) TopKByVector(query []float64, k int, f Filter) ([]Match, error)
 	return ix.topKByVector(query, k, f, -1)
 }
 
+// matchBetter is the total order of the candidate scans: similarity
+// descending with deterministic id tie-breaks. Being total, the top-k it
+// selects is unique, so sharded selection returns exactly what a full sort
+// would at any shard or worker count.
+func matchBetter(a, b Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity > b.Similarity
+	}
+	return a.CompanyID < b.CompanyID
+}
+
+// topkHeap is a bounded selection heap: a min-heap under better holding at
+// most k elements, with the worst retained element at the root. Pushing N
+// candidates costs O(N log k) instead of the O(N log N) of sorting the full
+// candidate set. better must be a total order so the selected top-k is
+// unique regardless of push order or sharding.
+type topkHeap[T any] struct {
+	k      int
+	better func(a, b T) bool
+	m      []T
+}
+
+func newTopkHeap[T any](k int, better func(a, b T) bool) *topkHeap[T] {
+	return &topkHeap[T]{k: k, better: better}
+}
+
+// push offers a candidate, evicting the worst retained element when full.
+func (h *topkHeap[T]) push(c T) {
+	if len(h.m) < h.k {
+		h.m = append(h.m, c)
+		// sift up: a parent better than its child violates the worst-at-root
+		// invariant, so swap until the parent is worse (or we reach the root)
+		i := len(h.m) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h.better(h.m[p], h.m[i]) {
+				break
+			}
+			h.m[i], h.m[p] = h.m[p], h.m[i]
+			i = p
+		}
+		return
+	}
+	if !h.better(c, h.m[0]) {
+		return
+	}
+	h.m[0] = c
+	// sift down: move the new root below any worse descendant
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h.m) && h.better(h.m[worst], h.m[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h.m) && h.better(h.m[worst], h.m[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.m[i], h.m[worst] = h.m[worst], h.m[i]
+		i = worst
+	}
+}
+
+// sorted drains the heap into best-first order.
+func (h *topkHeap[T]) sorted() []T {
+	out := h.m
+	sort.Slice(out, func(a, b int) bool { return h.better(out[a], out[b]) })
+	return out
+}
+
+// mergeTopK combines per-shard bounded-heap selections into the global
+// top-k: concatenate (at most shards*k elements), sort under the same total
+// order, truncate. Deterministic because the order is total.
+func mergeTopK[T any](shards [][]T, k int, better func(a, b T) bool) []T {
+	var total int
+	for _, s := range shards {
+		total += len(s)
+	}
+	merged := make([]T, 0, total)
+	for _, s := range shards {
+		merged = append(merged, s...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return better(merged[a], merged[b]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
 func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]Match, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	start := time.Now()
-	var rejected uint64
-	matches := make([]Match, 0, ix.Corpus.N())
-	for i := range ix.Corpus.Companies {
-		if i == exclude {
-			continue
-		}
-		if !f.Admits(&ix.Corpus.Companies[i]) {
-			rejected++
-			continue
-		}
-		matches = append(matches, Match{CompanyID: i, Similarity: ix.similarity(query, ix.Reps.Row(i))})
+	n := ix.Corpus.N()
+	type shardOut struct {
+		matches            []Match
+		admitted, rejected uint64
 	}
-	topkRequests.Inc()
-	topkAdmitted.Add(uint64(len(matches)))
-	topkFiltered.Add(rejected)
-	sort.Slice(matches, func(a, b int) bool {
-		if matches[a].Similarity != matches[b].Similarity {
-			return matches[a].Similarity > matches[b].Similarity
+	out := make([]shardOut, par.NumShards(n))
+	_ = par.ForEachShard(context.Background(), n, func(s, lo, hi int) error {
+		h := newTopkHeap(k, matchBetter)
+		var admitted, rejected uint64
+		for i := lo; i < hi; i++ {
+			if i == exclude {
+				continue
+			}
+			if !f.Admits(&ix.Corpus.Companies[i]) {
+				rejected++
+				continue
+			}
+			admitted++
+			h.push(Match{CompanyID: i, Similarity: ix.similarity(query, ix.Reps.Row(i))})
 		}
-		return matches[a].CompanyID < matches[b].CompanyID
+		out[s] = shardOut{matches: h.sorted(), admitted: admitted, rejected: rejected}
+		return nil
 	})
-	if len(matches) > k {
-		matches = matches[:k]
+	var admitted, rejected uint64
+	perShard := make([][]Match, len(out))
+	for s := range out {
+		perShard[s] = out[s].matches
+		admitted += out[s].admitted
+		rejected += out[s].rejected
 	}
+	matches := mergeTopK(perShard, k, matchBetter)
+	topkRequests.Inc()
+	topkAdmitted.Add(admitted)
+	topkFiltered.Add(rejected)
 	topkLatency.Observe(time.Since(start).Seconds())
 	return matches, nil
 }
@@ -272,33 +375,42 @@ func (ix *Index) Whitespace(clientIDs []int, k int, f Filter) ([]WhitespaceProsp
 		wsLatency.Observe(time.Since(start).Seconds())
 	}()
 	isClient := make(map[int]bool, len(clientIDs))
-	for _, id := range clientIDs {
+	clientRows := make([][]float64, len(clientIDs))
+	for ci, id := range clientIDs {
 		if id < 0 || id >= ix.Corpus.N() {
 			return nil, fmt.Errorf("core: client id %d outside [0,%d)", id, ix.Corpus.N())
 		}
 		isClient[id] = true
+		clientRows[ci] = ix.Reps.Row(id)
 	}
-	var out []WhitespaceProspect
-	for i := range ix.Corpus.Companies {
-		if isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
-			continue
-		}
-		best := WhitespaceProspect{CompanyID: i, NearestClient: -1, Similarity: math.Inf(-1)}
-		for _, cid := range clientIDs {
-			if s := ix.similarity(ix.Reps.Row(i), ix.Reps.Row(cid)); s > best.Similarity {
-				best.Similarity, best.NearestClient = s, cid
+	n := ix.Corpus.N()
+	shards := make([][]WhitespaceProspect, par.NumShards(n))
+	_ = par.ForEachShard(context.Background(), n, func(s, lo, hi int) error {
+		h := newTopkHeap(k, prospectBetter)
+		for i := lo; i < hi; i++ {
+			if isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
+				continue
 			}
+			rowI := ix.Reps.Row(i)
+			best := WhitespaceProspect{CompanyID: i, NearestClient: -1, Similarity: math.Inf(-1)}
+			for ci, crow := range clientRows {
+				if sim := ix.similarity(rowI, crow); sim > best.Similarity {
+					best.Similarity, best.NearestClient = sim, clientIDs[ci]
+				}
+			}
+			h.push(best)
 		}
-		out = append(out, best)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Similarity != out[b].Similarity {
-			return out[a].Similarity > out[b].Similarity
-		}
-		return out[a].CompanyID < out[b].CompanyID
+		shards[s] = h.sorted()
+		return nil
 	})
-	if len(out) > k {
-		out = out[:k]
+	return mergeTopK(shards, k, prospectBetter), nil
+}
+
+// prospectBetter is the total order for white-space prospects: similarity
+// descending with deterministic id tie-breaks.
+func prospectBetter(a, b WhitespaceProspect) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity > b.Similarity
 	}
-	return out, nil
+	return a.CompanyID < b.CompanyID
 }

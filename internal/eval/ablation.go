@@ -33,8 +33,8 @@ type GRUAblationResult struct {
 // hidden-size grid and compares test perplexity.
 func RunGRUAblation(ctx *Context) (*GRUAblationResult, error) {
 	trainSeqs := nonEmpty(ctx.Split.Train.Sequences())
-	if cap := ctx.Scale.LSTMTrainCap; cap > 0 && len(trainSeqs) > cap {
-		trainSeqs = trainSeqs[:cap]
+	if trainCap := ctx.Scale.LSTMTrainCap; trainCap > 0 && len(trainSeqs) > trainCap {
+		trainSeqs = trainSeqs[:trainCap]
 	}
 	testSeqs := nonEmpty(ctx.Split.Test.Sequences())
 	res := &GRUAblationResult{}

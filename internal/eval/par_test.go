@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// tinyScale keeps the parallel-vs-sequential comparison runs fast: the grids
+// only need enough cells to exercise the fan-out.
+func tinyScale() Scale {
+	s := Quick()
+	s.Companies = 150
+	s.LDATopicGrid = []int{2, 3, 4}
+	s.LDABurnIn, s.LDAIters, s.LDAInfer = 5, 12, 5
+	s.LSTMEpochs = 1
+	s.LSTMHiddenGrid = []int{6, 10}
+	s.LSTMLayersGrid = []int{1, 2}
+	return s
+}
+
+// TestRunFigure2WorkersGobIdentical proves the parallel LDA topic grid is
+// gob-byte-identical to the sequential run. RNG streams are pre-split in
+// grid order, so every cell draws the stream the single-threaded sweep gave
+// it regardless of scheduling.
+func TestRunFigure2WorkersGobIdentical(t *testing.T) {
+	run := func(w int) []byte {
+		par.SetWorkers(w)
+		defer par.SetWorkers(0)
+		ctx, err := NewContext(tinyScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunFigure2(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("RunFigure2 differs between workers=1 and workers=4")
+	}
+}
+
+// TestRunFigure1WorkersGobIdentical proves the parallel LSTM architecture
+// grid is gob-byte-identical to the sequential run.
+func TestRunFigure1WorkersGobIdentical(t *testing.T) {
+	run := func(w int) []byte {
+		par.SetWorkers(w)
+		defer par.SetWorkers(0)
+		ctx, err := NewContext(tinyScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunFigure1(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("RunFigure1 differs between workers=1 and workers=4")
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,8 @@ import (
 	"repro/internal/lstm"
 	"repro/internal/ngram"
 	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
 )
 
 // evalRuns counts perplexity-driver executions; each driver also times
@@ -53,28 +56,48 @@ func RunFigure2(ctx *Context) (*Figure2Result, error) {
 	trainDocs := ctx.Split.Train.Sets()
 	testDocs := ctx.Split.Test.Sets()
 	weights := tfidfWeights(ctx.Split.Train)
-	res := &Figure2Result{BestPerpl: math.Inf(1)}
-	for _, k := range ctx.Scale.LDATopicGrid {
+	grid := ctx.Scale.LDATopicGrid
+	// Pre-split the four per-k RNG streams (train-binary, perp-binary,
+	// train-tfidf, perp-tfidf) in sequential grid order, then fan the topic
+	// grid out across workers; results land index-stable so the curve and
+	// the best-pick scan below are bit-identical at any worker count.
+	type cellRNG struct{ trainBin, perpBin, trainTF, perpTF *rng.RNG }
+	streams := make([]cellRNG, len(grid))
+	for i := range grid {
+		streams[i] = cellRNG{
+			trainBin: ctx.RNG.Split(), perpBin: ctx.RNG.Split(),
+			trainTF: ctx.RNG.Split(), perpTF: ctx.RNG.Split(),
+		}
+	}
+	type cellOut struct{ pBin, pTF float64 }
+	cells, err := par.Map(context.Background(), len(grid), func(i int) (cellOut, error) {
+		k := grid[i]
 		cfg := lda.Config{
 			Topics: k, V: ctx.Corpus.M(),
 			BurnIn: ctx.Scale.LDABurnIn, Iterations: ctx.Scale.LDAIters,
 			InferIterations: ctx.Scale.LDAInfer,
 		}
-		mBin, err := lda.Train(cfg, trainDocs, nil, ctx.RNG.Split())
+		mBin, err := lda.Train(cfg, trainDocs, nil, streams[i].trainBin)
 		if err != nil {
-			return nil, fmt.Errorf("eval: LDA binary k=%d: %w", k, err)
+			return cellOut{}, fmt.Errorf("eval: LDA binary k=%d: %w", k, err)
 		}
-		pBin := mBin.Perplexity(testDocs, ctx.RNG.Split())
-		mTF, err := lda.Train(cfg, trainDocs, weights, ctx.RNG.Split())
+		pBin := mBin.Perplexity(testDocs, streams[i].perpBin)
+		mTF, err := lda.Train(cfg, trainDocs, weights, streams[i].trainTF)
 		if err != nil {
-			return nil, fmt.Errorf("eval: LDA tfidf k=%d: %w", k, err)
+			return cellOut{}, fmt.Errorf("eval: LDA tfidf k=%d: %w", k, err)
 		}
-		pTF := mTF.Perplexity(testDocs, ctx.RNG.Split())
+		return cellOut{pBin: pBin, pTF: mTF.Perplexity(testDocs, streams[i].perpTF)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure2Result{BestPerpl: math.Inf(1)}
+	for i, k := range grid {
 		res.Topics = append(res.Topics, k)
-		res.BinaryPerpl = append(res.BinaryPerpl, pBin)
-		res.TFIDFPerpl = append(res.TFIDFPerpl, pTF)
-		if pBin < res.BestPerpl {
-			res.BestPerpl, res.BestTopics = pBin, k
+		res.BinaryPerpl = append(res.BinaryPerpl, cells[i].pBin)
+		res.TFIDFPerpl = append(res.TFIDFPerpl, cells[i].pTF)
+		if cells[i].pBin < res.BestPerpl {
+			res.BestPerpl, res.BestTopics = cells[i].pBin, k
 		}
 	}
 	return res, nil
@@ -127,8 +150,8 @@ func RunFigure1(ctx *Context) (*Figure1Result, error) {
 	defer obs.Start("eval.figure1").End()
 	evalRuns.Inc()
 	trainSeqs := nonEmpty(ctx.Split.Train.Sequences())
-	if cap := ctx.Scale.LSTMTrainCap; cap > 0 && len(trainSeqs) > cap {
-		trainSeqs = trainSeqs[:cap]
+	if trainCap := ctx.Scale.LSTMTrainCap; trainCap > 0 && len(trainSeqs) > trainCap {
+		trainSeqs = trainSeqs[:trainCap]
 	}
 	validSeqs := nonEmpty(ctx.Split.Valid.Sequences())
 	testSeqs := nonEmpty(ctx.Split.Test.Sequences())
@@ -137,24 +160,44 @@ func RunFigure1(ctx *Context) (*Figure1Result, error) {
 		Layers:      ctx.Scale.LSTMLayersGrid,
 		BestPerpl:   math.Inf(1),
 	}
+	// Flatten the layers x hidden grid into cells, pre-split one training
+	// stream per cell in the nested (layers outer, hidden inner) order the
+	// sequential loop consumed them, and fan the architectures out across
+	// workers. The best-pick scan runs after, in grid order, so the strict
+	// `<` first-wins tie-break is preserved.
+	type cell struct {
+		layers, hidden int
+		stream         *rng.RNG
+	}
+	var cells []cell
 	for _, layers := range ctx.Scale.LSTMLayersGrid {
-		var row []float64
 		for _, hidden := range ctx.Scale.LSTMHiddenGrid {
-			cfg := lstm.Config{
-				V: ctx.Corpus.M(), Layers: layers, Hidden: hidden,
-				Dropout: ctx.Scale.LSTMDropout, Epochs: ctx.Scale.LSTMEpochs,
-			}
-			m, _, err := lstm.Train(cfg, trainSeqs, validSeqs, ctx.RNG.Split())
-			if err != nil {
-				return nil, fmt.Errorf("eval: LSTM %dx%d: %w", layers, hidden, err)
-			}
-			p := m.Perplexity(testSeqs)
-			row = append(row, p)
-			if p < res.BestPerpl {
-				res.BestPerpl, res.BestLayers, res.BestHidden = p, layers, hidden
-			}
+			cells = append(cells, cell{layers: layers, hidden: hidden, stream: ctx.RNG.Split()})
 		}
-		res.Perpl = append(res.Perpl, row)
+	}
+	perpl, err := par.Map(context.Background(), len(cells), func(i int) (float64, error) {
+		cfg := lstm.Config{
+			V: ctx.Corpus.M(), Layers: cells[i].layers, Hidden: cells[i].hidden,
+			Dropout: ctx.Scale.LSTMDropout, Epochs: ctx.Scale.LSTMEpochs,
+		}
+		m, _, err := lstm.Train(cfg, trainSeqs, validSeqs, cells[i].stream)
+		if err != nil {
+			return 0, fmt.Errorf("eval: LSTM %dx%d: %w", cells[i].layers, cells[i].hidden, err)
+		}
+		return m.Perplexity(testSeqs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if i%len(ctx.Scale.LSTMHiddenGrid) == 0 {
+			res.Perpl = append(res.Perpl, nil)
+		}
+		ri := len(res.Perpl) - 1
+		res.Perpl[ri] = append(res.Perpl[ri], perpl[i])
+		if perpl[i] < res.BestPerpl {
+			res.BestPerpl, res.BestLayers, res.BestHidden = perpl[i], c.layers, c.hidden
+		}
 	}
 	return res, nil
 }

@@ -59,8 +59,8 @@ func RunFigure34(ctx *Context) (*Figure34Result, error) {
 		}
 		hidden := ctx.Scale.LSTMHiddenGrid[len(ctx.Scale.LSTMHiddenGrid)-1]
 		seqs := nonEmpty(tc.Sequences())
-		if cap := ctx.Scale.LSTMTrainCap; cap > 0 && len(seqs) > cap {
-			seqs = seqs[:cap]
+		if trainCap := ctx.Scale.LSTMTrainCap; trainCap > 0 && len(seqs) > trainCap {
+			seqs = seqs[:trainCap]
 		}
 		m, _, err := lstm.Train(lstm.Config{
 			V: tc.M(), Layers: 1, Hidden: hidden,
@@ -184,3 +184,7 @@ func (b bpmfRows) ScoresFor(row int, _ []int) []float64 {
 	copy(out, b.m.Scores.Row(row))
 	return out
 }
+
+// ConcurrencySafe marks the row scorer parallel-safe: it only copies rows of
+// the trained score matrix.
+func (b bpmfRows) ConcurrencySafe() bool { return true }

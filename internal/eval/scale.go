@@ -84,17 +84,21 @@ func Quick() Scale {
 // the paper's full parameter grids on a corpus sized for a single core.
 func Standard() Scale {
 	return Scale{
-		Companies:        2000,
-		Seed:             1,
-		LDABurnIn:        40,
-		LDAIters:         100,
-		LDAInfer:         20,
-		LDATopicGrid:     []int{2, 3, 4, 6, 8, 10, 12, 14, 16},
-		LSTMEpochs:       14,
-		LSTMHiddenGrid:   []int{10, 100, 200, 300},
-		LSTMLayersGrid:   []int{1, 2, 3},
-		LSTMDropout:      0.5,
-		LSTMTrainCap:     1000,
+		Companies:      2000,
+		Seed:           1,
+		LDABurnIn:      40,
+		LDAIters:       100,
+		LDAInfer:       20,
+		LDATopicGrid:   []int{2, 3, 4, 6, 8, 10, 12, 14, 16},
+		LSTMEpochs:     14,
+		LSTMHiddenGrid: []int{10, 100, 200, 300},
+		LSTMLayersGrid: []int{1, 2, 3},
+		LSTMDropout:    0.5,
+		// LSTMTrainCap 0: with the Figure 1 grid fanned out across workers
+		// (internal/par), the standard scale no longer needs to cap training
+		// sequences to stay tractable — every architecture sees the full
+		// training split.
+		LSTMTrainCap:     0,
 		BPMFRank:         8,
 		BPMFBurn:         20,
 		BPMFSamples:      30,

@@ -25,11 +25,11 @@ type cliHandler struct {
 // NewCLILogger returns a slog.Logger writing "name: msg k=v" lines to w.
 // verbose enables debug-level records; info and above always pass.
 func NewCLILogger(w io.Writer, name string, verbose bool) *slog.Logger {
-	min := slog.LevelInfo
+	minLevel := slog.LevelInfo
 	if verbose {
-		min = slog.LevelDebug
+		minLevel = slog.LevelDebug
 	}
-	return slog.New(&cliHandler{mu: &sync.Mutex{}, w: w, prefix: name, min: min})
+	return slog.New(&cliHandler{mu: &sync.Mutex{}, w: w, prefix: name, min: minLevel})
 }
 
 func (h *cliHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.min }

@@ -1,0 +1,196 @@
+// Package par is the repo's deterministic parallel-execution layer: a
+// bounded worker fan-out over an index space with index-stable result
+// collection, context cancellation and first-error (lowest index) propagation.
+//
+// Determinism contract. Every hot path driven through this package must be
+// bit-identical at any worker count, which requires two disciplines from
+// callers:
+//
+//  1. RNG streams are Split() up front, in the sequential order the
+//     single-threaded code would have consumed them, BEFORE the fan-out.
+//     Workers then only touch their own pre-split streams, so every task
+//     sees the same stream it sees today regardless of scheduling.
+//  2. Reductions merge per-index partial results in index order. Integer
+//     merges are exact in any order; floating-point reductions must be
+//     restructured so both the sequential and the parallel path compute the
+//     same per-index partials and fold them in the same order.
+//
+// The worker count defaults to GOMAXPROCS and is overridable process-wide
+// with SetWorkers (the cmd/ binaries expose it as -workers). Workers() == 1
+// runs every task inline on the calling goroutine — the sequential baseline
+// the determinism tests compare against.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Worker-utilization metrics: tasks executed through the pool and the number
+// of workers currently running a task (utilization = busy / workers).
+var (
+	tasksTotal = obs.Default().Counter("par_tasks_total",
+		"tasks executed through the parallel execution layer")
+	workersBusy = obs.Default().Gauge("par_workers_busy",
+		"workers currently executing a task in the parallel execution layer")
+)
+
+// workers holds the process-wide worker count; 0 means "use GOMAXPROCS".
+var workers atomic.Int64
+
+// SetWorkers sets the process-wide worker count used by ForEach, Map and
+// ForEachShard. n < 1 resets to the default (GOMAXPROCS at call time).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the effective worker count.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardsPerWorker oversubscribes shards relative to workers so uneven shard
+// costs still load-balance across the pool.
+const shardsPerWorker = 4
+
+// NumShards returns the shard count ForEachShard uses to partition n items:
+// min(n, Workers()*shardsPerWorker). Callers that collect per-shard partial
+// results size their slices with it. Only exact (order-independent)
+// reductions may merge per-shard values, because the shard boundaries move
+// with the worker count; floating-point partials must be per-index instead.
+func NumShards(n int) int {
+	s := Workers() * shardsPerWorker
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to Workers() goroutines and
+// blocks until all scheduled tasks finish. Task-to-worker assignment is
+// nondeterministic; callers keep results index-stable by writing only to
+// slot i from task i. On error the lowest-index error is returned and no new
+// tasks start; tasks already running complete. A cancelled ctx stops
+// dispatch and surfaces ctx.Err() unless a task error (lower authority:
+// lowest index) was recorded.
+func ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			tasksTotal.Inc()
+			workersBusy.Add(1)
+			err := fn(i)
+			workersBusy.Add(-1)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if err != nil && i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				tasksTotal.Inc()
+				workersBusy.Add(1)
+				err := fn(i)
+				workersBusy.Add(-1)
+				if err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results in index order. Error and cancellation semantics match ForEach;
+// on error the partial results are discarded.
+func Map[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachShard partitions [0, n) into NumShards(n) contiguous index ranges
+// and runs fn(shard, lo, hi) for each. Shard s covers [lo, hi) and shards
+// are contiguous and ascending, so concatenating per-shard outputs in shard
+// order reproduces index order.
+func ForEachShard(ctx context.Context, n int, fn func(shard, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	shards := NumShards(n)
+	size := n / shards
+	rem := n % shards
+	return ForEach(ctx, shards, func(s int) error {
+		lo := s*size + min(s, rem)
+		hi := lo + size
+		if s < rem {
+			hi++
+		}
+		return fn(s, lo, hi)
+	})
+}

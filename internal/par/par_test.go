@@ -1,0 +1,235 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// withWorkers runs fn under a fixed process-wide worker count and restores
+// the default afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	fn()
+}
+
+func TestWorkersDefault(t *testing.T) {
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(7)
+	if got := Workers(); got != 7 {
+		t.Fatalf("Workers() = %d after SetWorkers(7)", got)
+	}
+	SetWorkers(-3)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d after reset", got)
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			const n = 257
+			counts := make([]atomic.Int64, n)
+			err := ForEach(context.Background(), n, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestMapIndexStable(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			out, err := Map(context.Background(), 100, func(i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			err := ForEach(context.Background(), 64, func(i int) error {
+				switch i {
+				case 3:
+					return errA
+				case 40:
+					return errB
+				}
+				return nil
+			})
+			// Index 3 is dispatched before (or concurrently with) 40 at any
+			// worker count <= 4; the recorded error must be the lowest index
+			// among those that ran.
+			if !errors.Is(err, errA) {
+				t.Fatalf("workers=%d: err = %v, want %v", w, err, errA)
+			}
+		})
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	withWorkers(t, 4, func() {
+		out, err := Map(context.Background(), 8, func(i int) (int, error) {
+			if i == 0 {
+				return 0, fmt.Errorf("boom")
+			}
+			return i, nil
+		})
+		if err == nil || out != nil {
+			t.Fatalf("out=%v err=%v, want nil+error", out, err)
+		}
+	})
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			var ran atomic.Int64
+			err := ForEach(ctx, 10000, func(i int) error {
+				if ran.Add(1) == 5 {
+					cancel()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+			}
+			if n := ran.Load(); n >= 10000 {
+				t.Fatalf("workers=%d: cancellation did not stop dispatch (%d tasks ran)", w, n)
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(context.Background(), 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(context.Background(), -3, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachShardCoversRangeContiguously(t *testing.T) {
+	for _, w := range []int{1, 3, 4} {
+		withWorkers(t, w, func() {
+			for _, n := range []int{1, 5, 16, 257} {
+				covered := make([]atomic.Int64, n)
+				type bound struct{ lo, hi int }
+				bounds := make([]bound, NumShards(n))
+				err := ForEachShard(context.Background(), n, func(s, lo, hi int) error {
+					bounds[s] = bound{lo, hi}
+					for i := lo; i < hi; i++ {
+						covered[i].Add(1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range covered {
+					if c := covered[i].Load(); c != 1 {
+						t.Fatalf("workers=%d n=%d: index %d covered %d times", w, n, i, c)
+					}
+				}
+				// shards are contiguous and ascending
+				prev := 0
+				for s, b := range bounds {
+					if b.lo != prev || b.hi < b.lo {
+						t.Fatalf("workers=%d n=%d: shard %d = [%d,%d), prev end %d", w, n, s, b.lo, b.hi, prev)
+					}
+					prev = b.hi
+				}
+				if prev != n {
+					t.Fatalf("workers=%d n=%d: shards end at %d", w, n, prev)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkers1vsNDeterminism is the package-level determinism smoke test:
+// a float reduction restructured to per-index partials folded in index
+// order must be bit-identical at workers=1 and workers=4, including when
+// every task draws from its own pre-split RNG stream.
+func TestWorkers1vsNDeterminism(t *testing.T) {
+	run := func(w int) []float64 {
+		SetWorkers(w)
+		defer SetWorkers(0)
+		parent := rng.New(42)
+		const n = 100
+		// pre-split one stream per task in sequential order
+		streams := make([]*rng.RNG, n)
+		for i := range streams {
+			streams[i] = parent.Split()
+		}
+		partial := make([]float64, n)
+		if err := ForEach(context.Background(), n, func(i int) error {
+			s := 0.0
+			for k := 0; k < 50; k++ {
+				s += streams[i].Float64()
+			}
+			partial[i] = s
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return partial
+	}
+	seq := run(1)
+	par4 := run(4)
+	for i := range seq {
+		if seq[i] != par4[i] {
+			t.Fatalf("partial[%d]: workers=1 %v != workers=4 %v", i, seq[i], par4[i])
+		}
+	}
+}
+
+func TestUtilizationMetrics(t *testing.T) {
+	before := obs.Default().Counter("par_tasks_total", "").Value()
+	withWorkers(t, 4, func() {
+		if err := ForEach(context.Background(), 32, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	after := obs.Default().Counter("par_tasks_total", "").Value()
+	if after-before != 32 {
+		t.Fatalf("par_tasks_total advanced by %d, want 32", after-before)
+	}
+	if busy := obs.Default().Gauge("par_workers_busy", "").Value(); busy != 0 {
+		t.Fatalf("par_workers_busy = %v after quiescence, want 0", busy)
+	}
+}

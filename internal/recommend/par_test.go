@@ -1,0 +1,119 @@
+package recommend
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/par"
+)
+
+// TestEmptyWindowDoesNotDragRecall is the regression test for the
+// recall-aggregation bug: a window with zero relevant acquisitions used to
+// contribute recall 0 to the per-threshold mean, dragging it below its true
+// value. With the fix, zero-ground-truth windows are excluded from the
+// recall/F1 aggregation (mirroring the NaN-precision skip).
+func TestEmptyWindowDoesNotDragRecall(t *testing.T) {
+	// Every company acquires category 0 before the windows, category 1 in
+	// window 0 and category 2 in window 2. Window 1 (2001) is empty: no
+	// company acquires anything, so relevant == 0 there.
+	cat := corpus.DefaultCatalog()
+	companies := make([]corpus.Company, 10)
+	for i := range companies {
+		companies[i] = corpus.Company{ID: i, Acquisitions: []corpus.Acquisition{
+			{Category: 0, First: corpus.MonthOf(1999, 1)},
+			{Category: 1, First: corpus.MonthOf(2000, 6)},
+			{Category: 2, First: corpus.MonthOf(2002, 6)},
+		}}
+	}
+	c := corpus.New(cat, companies)
+	spec := WindowSpec{Start: corpus.MonthOf(2000, 1), Length: 12, Slide: 12, Count: 3}
+	// The recommender always predicts exactly the next category in the
+	// chain, so every non-empty window has recall 1.
+	train := func(tc *corpus.Corpus, _ corpus.Month) (Recommender, error) {
+		return &oracleRecommender{v: tc.M()}, nil
+	}
+	res, err := EvaluateSweep(c, spec, []float64{0.5}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relevant.Mean; math.Abs(got-20.0/3) > 1e-9 {
+		t.Fatalf("mean relevant %v, want 20/3 (one window must be empty)", got)
+	}
+	// Before the fix the empty window contributed recall 0 and the mean was
+	// 2/3; it must now be exactly 1.
+	if got := res.Recall[0].Mean; got != 1 {
+		t.Fatalf("recall mean %v, want 1 (empty window leaked into aggregation)", got)
+	}
+	if got := res.F1[0].Mean; got != 1 {
+		t.Fatalf("F1 mean %v, want 1", got)
+	}
+}
+
+// TestAllWindowsEmptyYieldsNaNRecall covers the degenerate corner: when no
+// window carries ground truth the recall series is NaN, not 0.
+func TestAllWindowsEmptyYieldsNaNRecall(t *testing.T) {
+	cat := corpus.DefaultCatalog()
+	companies := []corpus.Company{
+		{ID: 0, Acquisitions: []corpus.Acquisition{{Category: 0, First: corpus.MonthOf(1999, 1)}}},
+	}
+	c := corpus.New(cat, companies)
+	spec := WindowSpec{Start: corpus.MonthOf(2000, 1), Length: 12, Slide: 12, Count: 2}
+	res, err := EvaluateSweep(c, spec, []float64{0.5}, func(tc *corpus.Corpus, _ corpus.Month) (Recommender, error) {
+		return &oracleRecommender{v: tc.M()}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Recall[0].Mean) {
+		t.Fatalf("recall over zero ground-truth windows = %v, want NaN", res.Recall[0].Mean)
+	}
+}
+
+// TestEvaluateSweepRowsWorkersGobIdentical proves the sharded per-company
+// scoring loop returns gob-byte-identical sweeps at workers=1 and workers=4
+// for a concurrency-safe recommender.
+func TestEvaluateSweepRowsWorkersGobIdentical(t *testing.T) {
+	c := oracleCorpus(60)
+	spec := PaperWindows()
+	phis := []float64{0.1, 0.5, 0.9}
+	train := func(tc *corpus.Corpus, _ corpus.Month) (Recommender, error) {
+		orc := &oracleRecommender{v: tc.M()}
+		return &Static{Label: orc.Name(), Fn: orc.Scores, Concurrent: true}, nil
+	}
+	run := func(w int) []byte {
+		par.SetWorkers(w)
+		defer par.SetWorkers(0)
+		res, err := EvaluateSweep(c, spec, phis, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("EvaluateSweepRows differs between workers=1 and workers=4")
+	}
+}
+
+// TestConcurrencySafeForwarding checks the rowAdapter forwards the marker
+// and that non-opted-in recommenders stay sequential-only.
+func TestConcurrencySafeForwarding(t *testing.T) {
+	safe := rowAdapter{&Static{Label: "s", Concurrent: true}}
+	if !safe.ConcurrencySafe() {
+		t.Fatal("Concurrent Static not forwarded")
+	}
+	unsafe := rowAdapter{&Static{Label: "u"}}
+	if unsafe.ConcurrencySafe() {
+		t.Fatal("non-Concurrent Static reported safe")
+	}
+	plain := rowAdapter{&oracleRecommender{v: 3}}
+	if plain.ConcurrencySafe() {
+		t.Fatal("non-marker Recommender reported safe")
+	}
+}

@@ -10,10 +10,12 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/corpus"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -84,12 +86,30 @@ type RowRecommender interface {
 // RowTrainFunc builds a RowRecommender per window.
 type RowTrainFunc func(train *corpus.Corpus, windowStart corpus.Month) (RowRecommender, error)
 
+// ConcurrencySafe is an opt-in marker for recommenders whose scoring calls
+// may run concurrently from multiple goroutines. Models that draw from a
+// shared RNG during scoring (LDA's theta inference) must NOT opt in: beyond
+// the data race, concurrent draws would consume the stream in scheduling
+// order and break determinism. Read-only scorers (LSTM, n-gram, CHH, BPMF
+// rows, uniform) opt in via Static.Concurrent.
+type ConcurrencySafe interface {
+	ConcurrencySafe() bool
+}
+
 // rowAdapter lifts a plain Recommender to the row-aware interface.
 type rowAdapter struct{ r Recommender }
 
 func (a rowAdapter) Name() string { return a.r.Name() }
 func (a rowAdapter) ScoresFor(_ int, history []int) []float64 {
 	return a.r.Scores(history)
+}
+
+// ConcurrencySafe forwards the underlying recommender's marker.
+func (a rowAdapter) ConcurrencySafe() bool {
+	if cs, ok := a.r.(ConcurrencySafe); ok {
+		return cs.ConcurrencySafe()
+	}
+	return false
 }
 
 // EvaluateSweep runs the sliding-window evaluation of one model over a
@@ -132,40 +152,79 @@ func EvaluateSweepRows(c *corpus.Corpus, spec WindowSpec, phis []float64, train 
 		}
 		modelName = rec.Name()
 
-		// per-phi counters for this window
+		// Per-phi counters for this window. The per-company scan only
+		// accumulates integers, so per-shard partial counters merge exactly
+		// in any order — sharded execution is bit-identical to sequential.
+		type windowAcc struct {
+			ret, cor []int
+			rel      int
+		}
+		scan := func(lo, hi int) (windowAcc, error) {
+			acc := windowAcc{ret: make([]int, nPhi), cor: make([]int, nPhi)}
+			for i := lo; i < hi; i++ {
+				co := &c.Companies[i]
+				truth := co.AcquiredIn(start, end)
+				history := co.OwnedBefore(start)
+				acc.rel += len(truth)
+				if len(truth) == 0 && len(history) == 0 {
+					continue
+				}
+				scores := rec.ScoresFor(i, history)
+				if len(scores) != c.M() {
+					return acc, fmt.Errorf("recommend: model %s returned %d scores, want %d", rec.Name(), len(scores), c.M())
+				}
+				owned := make(map[int]bool, len(history))
+				for _, a := range history {
+					owned[a] = true
+				}
+				truthSet := make(map[int]bool, len(truth))
+				for _, a := range truth {
+					truthSet[a] = true
+				}
+				for pi, phi := range phis {
+					for cat, s := range scores {
+						if owned[cat] || s < phi {
+							continue
+						}
+						acc.ret[pi]++
+						if truthSet[cat] {
+							acc.cor[pi]++
+						}
+					}
+				}
+			}
+			return acc, nil
+		}
+		var accs []windowAcc
+		if cs, ok := rec.(ConcurrencySafe); ok && cs.ConcurrencySafe() {
+			out := make([]windowAcc, par.NumShards(len(c.Companies)))
+			err := par.ForEachShard(context.Background(), len(c.Companies), func(s, lo, hi int) error {
+				a, err := scan(lo, hi)
+				if err != nil {
+					return err
+				}
+				out[s] = a
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			accs = out
+		} else {
+			a, err := scan(0, len(c.Companies))
+			if err != nil {
+				return nil, err
+			}
+			accs = []windowAcc{a}
+		}
 		ret := make([]int, nPhi)
 		cor := make([]int, nPhi)
 		rel := 0
-		for i := range c.Companies {
-			co := &c.Companies[i]
-			truth := co.AcquiredIn(start, end)
-			history := co.OwnedBefore(start)
-			rel += len(truth)
-			if len(truth) == 0 && len(history) == 0 {
-				continue
-			}
-			scores := rec.ScoresFor(i, history)
-			if len(scores) != c.M() {
-				return nil, fmt.Errorf("recommend: model %s returned %d scores, want %d", rec.Name(), len(scores), c.M())
-			}
-			owned := make(map[int]bool, len(history))
-			for _, a := range history {
-				owned[a] = true
-			}
-			truthSet := make(map[int]bool, len(truth))
-			for _, a := range truth {
-				truthSet[a] = true
-			}
-			for pi, phi := range phis {
-				for cat, s := range scores {
-					if owned[cat] || s < phi {
-						continue
-					}
-					ret[pi]++
-					if truthSet[cat] {
-						cor[pi]++
-					}
-				}
+		for _, a := range accs {
+			rel += a.rel
+			for pi := range phis {
+				ret[pi] += a.ret[pi]
+				cor[pi] += a.cor[pi]
 			}
 		}
 		relevantSeries = append(relevantSeries, float64(rel))
@@ -173,9 +232,17 @@ func EvaluateSweepRows(c *corpus.Corpus, spec WindowSpec, phis []float64, train 
 			prf := stats.ComputePRF(ret[pi], cor[pi], rel)
 			if !math.IsNaN(prf.Precision) {
 				precision[pi] = append(precision[pi], prf.Precision)
-				f1[pi] = append(f1[pi], prf.F1)
 			}
-			recall[pi] = append(recall[pi], prf.Recall)
+			// Windows with no relevant acquisitions carry no ground truth:
+			// their recall is 0 by convention, not by model failure, and
+			// including them drags the per-threshold recall/F1 means toward
+			// zero. Skip them, mirroring the NaN-precision skip above.
+			if rel > 0 {
+				recall[pi] = append(recall[pi], prf.Recall)
+				if !math.IsNaN(prf.Precision) {
+					f1[pi] = append(f1[pi], prf.F1)
+				}
+			}
 			retrieved[pi] = append(retrieved[pi], float64(ret[pi]))
 			correct[pi] = append(correct[pi], float64(cor[pi]))
 		}
@@ -186,22 +253,33 @@ func EvaluateSweepRows(c *corpus.Corpus, spec WindowSpec, phis []float64, train 
 	for pi := range phis {
 		if len(precision[pi]) > 0 {
 			res.Precision = append(res.Precision, stats.MeanCI(precision[pi]))
-			res.F1 = append(res.F1, stats.MeanCI(f1[pi]))
 		} else {
 			res.Precision = append(res.Precision, nanCI)
+		}
+		if len(f1[pi]) > 0 {
+			res.F1 = append(res.F1, stats.MeanCI(f1[pi]))
+		} else {
 			res.F1 = append(res.F1, nanCI)
 		}
-		res.Recall = append(res.Recall, stats.MeanCI(recall[pi]))
+		if len(recall[pi]) > 0 {
+			res.Recall = append(res.Recall, stats.MeanCI(recall[pi]))
+		} else {
+			res.Recall = append(res.Recall, nanCI)
+		}
 		res.Retrieved = append(res.Retrieved, stats.MeanCI(retrieved[pi]))
 		res.CorrectlyRetrieved = append(res.CorrectlyRetrieved, stats.MeanCI(correct[pi]))
 	}
 	return res, nil
 }
 
-// Static wraps a fixed scoring function as a Recommender.
+// Static wraps a fixed scoring function as a Recommender. Concurrent marks
+// Fn as safe to call from multiple goroutines (no shared mutable state, no
+// RNG draws); the evaluation harness then shards the per-company scoring
+// loop across workers.
 type Static struct {
-	Label string
-	Fn    func(history []int) []float64
+	Label      string
+	Fn         func(history []int) []float64
+	Concurrent bool
 }
 
 // Name implements Recommender.
@@ -210,12 +288,16 @@ func (s *Static) Name() string { return s.Label }
 // Scores implements Recommender.
 func (s *Static) Scores(history []int) []float64 { return s.Fn(history) }
 
+// ConcurrencySafe implements the opt-in concurrency marker.
+func (s *Static) ConcurrencySafe() bool { return s.Concurrent }
+
 // Uniform returns the paper's random baseline: every category scored
 // 1/v (≈ 0.026 for v = 38), so it retrieves everything for phi <= 1/v and
 // nothing above.
 func Uniform(v int) Recommender {
 	return &Static{
-		Label: "random",
+		Label:      "random",
+		Concurrent: true,
 		Fn: func([]int) []float64 {
 			out := make([]float64, v)
 			for i := range out {
@@ -227,10 +309,10 @@ func Uniform(v int) Recommender {
 }
 
 // DefaultPhiGrid returns the paper's threshold grid for Figures 3-4:
-// 0.00, 0.05, ..., up to max inclusive.
-func DefaultPhiGrid(max float64) []float64 {
+// 0.00, 0.05, ..., up to maxPhi inclusive.
+func DefaultPhiGrid(maxPhi float64) []float64 {
 	var out []float64
-	for phi := 0.0; phi <= max+1e-9; phi += 0.05 {
+	for phi := 0.0; phi <= maxPhi+1e-9; phi += 0.05 {
 		out = append(out, math.Round(phi*100)/100)
 	}
 	return out

@@ -241,3 +241,49 @@ func TestTCriticalMonotone(t *testing.T) {
 		t.Fatal("asymptote should be 1.96")
 	}
 }
+
+// TestHistogramEdgeBins pins the clamping behaviour at the bin edges:
+// v == hi lands in the last bin (clamped, not dropped), v == lo in the
+// first, and interior bin boundaries belong to the upper bin.
+func TestHistogramEdgeBins(t *testing.T) {
+	h := Histogram([]float64{1.0}, 0, 1, 4)
+	if h[3] != 1 {
+		t.Fatalf("v == hi must clamp into the last bin, got %v", h)
+	}
+	h = Histogram([]float64{0.0}, 0, 1, 4)
+	if h[0] != 1 {
+		t.Fatalf("v == lo must land in the first bin, got %v", h)
+	}
+	h = Histogram([]float64{0.25}, 0, 1, 4)
+	if h[1] != 1 {
+		t.Fatalf("interior boundary must belong to the upper bin, got %v", h)
+	}
+	// all three edge cases together conserve mass
+	h = Histogram([]float64{0, 0.25, 1}, 0, 1, 4)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("edge values lose mass: %v", h)
+	}
+}
+
+// TestCIOverlapNaN pins NaN semantics: an undefined interval (NaN bounds,
+// e.g. a precision CI over zero retrievals) overlaps nothing, not even
+// itself, because every NaN comparison is false.
+func TestCIOverlapNaN(t *testing.T) {
+	nan := CI{Mean: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	real1 := CI{Lo: 0, Hi: 1}
+	if nan.Overlaps(real1) || real1.Overlaps(nan) {
+		t.Fatal("NaN interval must not overlap a real interval")
+	}
+	if nan.Overlaps(nan) {
+		t.Fatal("NaN interval must not overlap itself")
+	}
+	// a half-NaN interval is undefined too
+	half := CI{Lo: 0, Hi: math.NaN()}
+	if half.Overlaps(real1) {
+		t.Fatal("half-NaN interval must not overlap")
+	}
+}

@@ -7,10 +7,12 @@
 package tsne
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -69,6 +71,7 @@ func Embed(x *mat.Matrix, cfg Config, g *rng.RNG) (*mat.Matrix, error) {
 	grad := mat.New(n, d)
 	q := mat.New(n, n)
 	num := mat.New(n, n)
+	rowSums := make([]float64, n)
 
 	exagStop := cfg.Iterations / 4
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -76,16 +79,25 @@ func Embed(x *mat.Matrix, cfg Config, g *rng.RNG) (*mat.Matrix, error) {
 		if iter < exagStop {
 			exag = cfg.EarlyExaggeration
 		}
-		// output affinities
-		var qSum float64
-		for i := 0; i < n; i++ {
+		// Output affinities. Each task i owns the pairs (i, j>i): it writes
+		// the two mirror cells of num (touched by no other task) and its own
+		// rowSums slot. The global qSum folds the per-row partials in index
+		// order afterwards, so the sum is bit-identical at any worker count.
+		_ = par.ForEach(context.Background(), n, func(i int) error {
 			yi := y.Row(i)
+			s := 0.0
 			for j := i + 1; j < n; j++ {
 				nu := 1 / (1 + mat.SqDist(yi, y.Row(j)))
 				num.Set(i, j, nu)
 				num.Set(j, i, nu)
-				qSum += 2 * nu
+				s += 2 * nu
 			}
+			rowSums[i] = s
+			return nil
+		})
+		var qSum float64
+		for _, s := range rowSums {
+			qSum += s
 		}
 		if qSum < 1e-300 {
 			qSum = 1e-300
@@ -97,9 +109,10 @@ func Embed(x *mat.Matrix, cfg Config, g *rng.RNG) (*mat.Matrix, error) {
 			}
 			q.Data[i] = v
 		}
-		// gradient: 4 Σ_j (p_ij - q_ij) num_ij (y_i - y_j)
+		// gradient: 4 Σ_j (p_ij - q_ij) num_ij (y_i - y_j); task i writes
+		// only grad.Row(i) and keeps the sequential per-row fold order.
 		grad.Zero()
-		for i := 0; i < n; i++ {
+		_ = par.ForEach(context.Background(), n, func(i int) error {
 			yi := y.Row(i)
 			gi := grad.Row(i)
 			for j := 0; j < n; j++ {
@@ -112,7 +125,8 @@ func Embed(x *mat.Matrix, cfg Config, g *rng.RNG) (*mat.Matrix, error) {
 					gi[k] += mult * (yi[k] - yj[k])
 				}
 			}
-		}
+			return nil
+		})
 		momentum := 0.5
 		if iter >= exagStop {
 			momentum = 0.8
@@ -147,18 +161,23 @@ func Embed(x *mat.Matrix, cfg Config, g *rng.RNG) (*mat.Matrix, error) {
 func inputAffinities(x *mat.Matrix, perplexity float64) *mat.Matrix {
 	n := x.Rows
 	d2 := mat.New(n, n)
-	for i := 0; i < n; i++ {
+	// Pairwise distances: task i owns the pairs (i, j>i), so the mirror
+	// writes are cell-disjoint across tasks.
+	_ = par.ForEach(context.Background(), n, func(i int) error {
 		xi := x.Row(i)
 		for j := i + 1; j < n; j++ {
 			dist := mat.SqDist(xi, x.Row(j))
 			d2.Set(i, j, dist)
 			d2.Set(j, i, dist)
 		}
-	}
+		return nil
+	})
 	target := math.Log(perplexity)
 	p := mat.New(n, n)
-	row := make([]float64, n)
-	for i := 0; i < n; i++ {
+	// Per-point bandwidth calibration is independent across points: task i
+	// bisects with its own scratch row and writes only p's row i.
+	_ = par.ForEach(context.Background(), n, func(i int) error {
+		row := make([]float64, n)
 		// bisection on beta = 1/(2 sigma^2)
 		betaLo, betaHi := 0.0, math.Inf(1)
 		beta := 1.0
@@ -213,7 +232,8 @@ func inputAffinities(x *mat.Matrix, perplexity float64) *mat.Matrix {
 		for j := 0; j < n; j++ {
 			p.Set(i, j, row[j]/sum)
 		}
-	}
+		return nil
+	})
 	// symmetrize: p_ij = (p_j|i + p_i|j) / 2n, floored
 	out := mat.New(n, n)
 	for i := 0; i < n; i++ {

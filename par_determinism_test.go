@@ -1,0 +1,42 @@
+package hiddenlayer
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestSelectLDAWorkersGobIdentical proves the parallel topic-grid sweep is
+// gob-byte-identical to the sequential one: models and perplexity curve
+// included, at workers=1 vs workers=4.
+func TestSelectLDAWorkersGobIdentical(t *testing.T) {
+	c, err := GenerateCorpus(150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w int) []byte {
+		par.SetWorkers(w)
+		defer par.SetWorkers(0)
+		sel, err := SelectLDA(c, []int{2, 3, 4, 6}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(sel.Curve); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(sel.Model.Phi.Data); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(sel.Model.K); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("SelectLDA differs between workers=1 and workers=4")
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# check_shadowing.sh rejects local variables or parameters that shadow the
+# builtins cap/max/min/len. Shadowed builtins compile fine but silently make
+# the builtin unusable for the rest of the scope (and read as the builtin to
+# reviewers); three such shadows have already been fixed in internal/eval.
+#
+# The grep is intentionally narrow: declarations of the form
+#   cap := ... | var cap ... | , cap := ... | func f(cap int...) | cap T) in
+# a parameter list — identifiers merely *containing* these words are fine.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='(^|[^A-Za-z0-9_.])(cap|max|min|len)([[:space:]]*:=|[[:space:]]*,[[:space:]]*[A-Za-z0-9_]+[[:space:]]*:=|[[:space:]]+[\[\]A-Za-z0-9_.*]+[,)])'
+declpattern='(var|func.*\()[[:space:]]*(cap|max|min|len)[[:space:]]'
+
+found=0
+# grep -E over tracked Go files, excluding generated/vendored code (none today).
+for f in $(find . -name '*.go' -not -path './.git/*'); do
+    if grep -nE "(^|[^A-Za-z0-9_.\"])(cap|max|min|len)[[:space:]]*(:=|,[[:space:]]*err[[:space:]]*:=)" "$f" \
+        | grep -vE '^\s*[0-9]+:\s*//' \
+        | grep -vE '\.(cap|max|min|len)' ; then
+        echo "shadowed builtin declared in $f" >&2
+        found=1
+    fi
+    if grep -nE "func [A-Za-z0-9_]+(\([^)]*\))?\([^)]*(^|[,(][[:space:]]*)(cap|max|min|len)[[:space:]]+[\[\]A-Za-z]" "$f" \
+        | grep -vE '^\s*[0-9]+:\s*//' ; then
+        echo "builtin shadowed by parameter in $f" >&2
+        found=1
+    fi
+done
+
+if [ "$found" -ne 0 ]; then
+    echo "FAIL: new shadowing of cap/max/min/len introduced" >&2
+    exit 1
+fi
+echo "shadowing check OK"
