@@ -1,0 +1,170 @@
+// Command ibserve is the HTTP query service over the Section 6 index: it
+// loads a snapshot-format LDA model and a JSONL corpus, infers every
+// company's representation, builds the similarity index and serves JSON
+// queries until terminated.
+//
+// Usage:
+//
+//	ibserve -corpus corpus.jsonl -model lda.gob -addr localhost:8080
+//
+// Endpoints:
+//
+//	GET  /v1/similar/{id}?k=10&country=US&sic2=73     similar companies
+//	GET  /v1/recommend/{id}?peers=25                  product recommendations
+//	POST /v1/whitespace  {"clients":[1,2],"k":10,"filter":{"country":"US"}}
+//	POST /v1/infer       {"owned":[0,4,7],"k":10}     out-of-corpus scoring
+//	POST /admin/reload                                hot-swap model + corpus
+//	GET  /healthz                                     liveness + index shape
+//
+// All query endpoints accept the business-filter fields (sic2, country,
+// min_employees, max_employees, min_revenue_m, max_revenue_m) as query
+// parameters (GET) or a "filter" object (POST), and run under the
+// -request-timeout deadline with at most -max-concurrent queries executing
+// at once. /admin/reload re-reads -model and -corpus from disk and swaps
+// the index atomically: in-flight requests finish against the old index,
+// and the response cache is invalidated.
+//
+// Observability: -debug-addr serves /metrics (including the per-endpoint
+// serve_*_requests_total / serve_*_errors_total / serve_*_latency_seconds
+// series), /metrics.json, /debug/vars and /debug/pprof on a side listener.
+// SIGINT/SIGTERM drains connections gracefully before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/lda"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
+// buildState loads the corpus and model from disk and assembles the index.
+// It is both the startup path and the /admin/reload loader, so a reload
+// with unchanged files reproduces the startup state bit for bit (the
+// representation RNG is re-seeded identically each load).
+func buildState(corpusPath, modelPath string, seed int64) (*core.Index, *lda.Model, error) {
+	c, err := corpus.LoadFile(corpusPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading corpus: %w", err)
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading model: %w", err)
+	}
+	defer f.Close()
+	m, err := lda.Load(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading model %s: %w", modelPath, err)
+	}
+	if c.M() != m.V {
+		return nil, nil, fmt.Errorf("corpus has %d categories, model %d", c.M(), m.V)
+	}
+	reps := m.Representations(c.Sets(), rng.New(seed))
+	ix, err := core.NewIndex(c, reps, core.Cosine)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, m, nil
+}
+
+func main() {
+	var (
+		corpusPath = flag.String("corpus", "corpus.jsonl", "corpus JSONL path")
+		modelPath  = flag.String("model", "lda.gob", "trained LDA model snapshot (from ibtrain)")
+		addr       = flag.String("addr", "localhost:8080", "serve address (port 0 picks a free port)")
+		seed       = flag.Int64("seed", 1, "representation-inference seed (reused on reload)")
+
+		defaultK  = flag.Int("k", 10, "default result count when a request omits k")
+		peers     = flag.Int("peers", 25, "default peer count for /v1/recommend")
+		maxConc   = flag.Int("max-concurrent", 0, "max queries executing at once (0 = worker count)")
+		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
+		cacheSize = flag.Int("cache-size", 256, "LRU response cache entries (negative disables)")
+		grace     = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
+	)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel index scans (deterministic at any value)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+	par.SetWorkers(*workers)
+
+	logger = obs.NewCLILogger(os.Stderr, "ibserve", obsFlags.Verbose)
+	if obsFlags.DebugAddr != "" {
+		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		// Announce on stdout so scripts and tests can scrape the bound port.
+		fmt.Printf("debug on %s\n", dbg.Addr())
+		logger.Info("debug server listening", "addr", dbg.Addr())
+	}
+
+	ix, model, err := buildState(*corpusPath, *modelPath, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K)
+
+	srv, err := serve.New(ix, model, func(context.Context) (*core.Index, *lda.Model, error) {
+		return buildState(*corpusPath, *modelPath, *seed)
+	}, serve.Config{
+		DefaultK:      *defaultK,
+		DefaultPeers:  *peers,
+		MaxConcurrent: *maxConc,
+		Timeout:       *reqTO,
+		CacheSize:     *cacheSize,
+		Seed:          *seed,
+		Logger:        logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		logger.Info("shutting down", "grace", grace.String())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown: " + err.Error())
+		}
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+	logger.Info("drained and stopped")
+}

@@ -1,0 +1,139 @@
+package core
+
+// Concurrent-read safety of the shared Index: ibserve answers every request
+// against one *Index from many goroutines at once, so the three query paths
+// must be safe for concurrent use AND return exactly what a sequential
+// caller gets. Run under -race (tier-1 does) this also proves the scans
+// share no hidden mutable state.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+)
+
+// servingFixture builds a 120-company index with deterministic
+// representations and enough attribute variety to exercise the filters.
+func servingFixture(t *testing.T) *Index {
+	t.Helper()
+	cat := corpus.DefaultCatalog()
+	m := cat.Size()
+	const n = 120
+	const dim = 4
+	countries := []string{"US", "DE", "GB", "FR"}
+	companies := make([]corpus.Company, n)
+	reps := mat.New(n, dim)
+	for i := 0; i < n; i++ {
+		companies[i] = corpus.Company{
+			ID:        i,
+			Name:      fmt.Sprintf("co-%03d", i),
+			Country:   countries[i%len(countries)],
+			SIC2:      70 + i%5,
+			Employees: 10 + i*13%2000,
+			RevenueM:  float64(1 + i*7%500),
+			Acquisitions: []corpus.Acquisition{
+				{Category: i % m, First: corpus.Month(i % 24)},
+				{Category: (i*3 + 1) % m, First: corpus.Month(i%24 + 1)},
+			},
+		}
+		companies[i].SortAcquisitions()
+		for j := 0; j < dim; j++ {
+			reps.Set(i, j, 0.1+float64((i*7+j*3)%11)/11)
+		}
+	}
+	ix, err := NewIndex(corpus.New(cat, companies), reps, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestConcurrentIndexReadsGobIdentical replays a fixed query mix
+// sequentially to record expected answers, then hammers the same shared
+// Index from many goroutines and asserts every concurrent answer is
+// gob-byte-identical to its sequential counterpart.
+func TestConcurrentIndexReadsGobIdentical(t *testing.T) {
+	ix := servingFixture(t)
+	filters := []Filter{
+		{},
+		{Country: "US"},
+		{SIC2: 72},
+		{MinEmployees: 100, MaxEmployees: 1500},
+		{Country: "DE", MinRevenueM: 50},
+	}
+	type query struct {
+		name string
+		run  func() (any, error)
+	}
+	var queries []query
+	for qi := 0; qi < 12; qi++ {
+		id := qi * 9 % 120
+		f := filters[qi%len(filters)]
+		clients := []int{id, (id + 17) % 120, (id + 53) % 120}
+		queries = append(queries,
+			query{fmt.Sprintf("topk/%d", qi), func() (any, error) { return ix.TopK(id, 10, f) }},
+			query{fmt.Sprintf("recommend/%d", qi), func() (any, error) { return ix.RecommendFromSimilar(id, 5, f) }},
+			query{fmt.Sprintf("whitespace/%d", qi), func() (any, error) { return ix.Whitespace(clients, 8, f) }},
+		)
+	}
+
+	expected := make([][]byte, len(queries))
+	for i, q := range queries {
+		out, err := q.run()
+		if err != nil {
+			t.Fatalf("%s: %v", q.name, err)
+		}
+		expected[i] = gobBytes(t, out)
+	}
+
+	const goroutines = 8
+	const rounds = 5
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for off := 0; off < len(queries); off++ {
+					// Each goroutine walks the queries at a different phase so
+					// distinct paths overlap in time.
+					i := (off + g*7 + r) % len(queries)
+					out, err := queries[i].run()
+					if err != nil {
+						errs <- fmt.Errorf("%s: %v", queries[i].name, err)
+						return
+					}
+					var buf bytes.Buffer
+					if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(buf.Bytes(), expected[i]) {
+						errs <- fmt.Errorf("%s: concurrent result differs from sequential", queries[i].name)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

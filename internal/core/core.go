@@ -37,6 +37,12 @@ var (
 		"end-to-end latency of white-space prospect queries", obs.DefBuckets)
 	wsRequests = obs.Default().Counter("whitespace_requests_total",
 		"white-space prospect queries served")
+	topkErrors = obs.Default().Counter("topk_errors_total",
+		"similarity top-k queries that failed (invalid arguments or cancelled)")
+	recErrors = obs.Default().Counter("recommend_errors_total",
+		"recommendation queries that failed (invalid arguments or cancelled)")
+	wsErrors = obs.Default().Counter("whitespace_errors_total",
+		"white-space queries that failed (invalid arguments or cancelled)")
 	indexCompanies = obs.Default().Gauge("index_companies",
 		"companies in the most recently built similarity index")
 )
@@ -94,6 +100,14 @@ func (f Filter) Admits(c *corpus.Company) bool {
 	return true
 }
 
+// Key returns a canonical compact encoding of the filter. Two filters admit
+// the same companies iff their keys are equal, so response caches can key on
+// endpoint + query id + Key().
+func (f Filter) Key() string {
+	return fmt.Sprintf("s%d|c%s|e%d:%d|r%g:%g",
+		f.SIC2, f.Country, f.MinEmployees, f.MaxEmployees, f.MinRevenueM, f.MaxRevenueM)
+}
+
 // Match is one similarity-search hit.
 type Match struct {
 	CompanyID  int
@@ -134,19 +148,34 @@ func (ix *Index) similarity(a, b []float64) float64 {
 // itself) that pass the filter, sorted by descending similarity with
 // deterministic id tie-breaks.
 func (ix *Index) TopK(id, k int, f Filter) ([]Match, error) {
+	return ix.TopKContext(context.Background(), id, k, f)
+}
+
+// TopKContext is TopK with a deadline- or cancellation-carrying context
+// threaded into the sharded candidate scan, for serving paths that enforce
+// per-request deadlines. A cancelled query returns ctx.Err() and counts
+// toward topk_errors_total, not topk_requests_total.
+func (ix *Index) TopKContext(ctx context.Context, id, k int, f Filter) ([]Match, error) {
 	if id < 0 || id >= ix.Corpus.N() {
+		topkErrors.Inc()
 		return nil, fmt.Errorf("core: company id %d outside [0,%d)", id, ix.Corpus.N())
 	}
-	return ix.topKByVector(ix.Reps.Row(id), k, f, id)
+	return ix.topKByVector(ctx, ix.Reps.Row(id), k, f, id)
 }
 
 // TopKByVector searches with an explicit query vector (e.g. the inferred
 // representation of a company outside the corpus).
 func (ix *Index) TopKByVector(query []float64, k int, f Filter) ([]Match, error) {
+	return ix.TopKByVectorContext(context.Background(), query, k, f)
+}
+
+// TopKByVectorContext is TopKByVector with a per-request context.
+func (ix *Index) TopKByVectorContext(ctx context.Context, query []float64, k int, f Filter) ([]Match, error) {
 	if len(query) != ix.Reps.Cols {
+		topkErrors.Inc()
 		return nil, fmt.Errorf("core: query dimension %d, index dimension %d", len(query), ix.Reps.Cols)
 	}
-	return ix.topKByVector(query, k, f, -1)
+	return ix.topKByVector(ctx, query, k, f, -1)
 }
 
 // matchBetter is the total order of the candidate scans: similarity
@@ -240,8 +269,9 @@ func mergeTopK[T any](shards [][]T, k int, better func(a, b T) bool) []T {
 	return merged
 }
 
-func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]Match, error) {
+func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Filter, exclude int) ([]Match, error) {
 	if k < 1 {
+		topkErrors.Inc()
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	start := time.Now()
@@ -251,7 +281,7 @@ func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]
 		admitted, rejected uint64
 	}
 	out := make([]shardOut, par.NumShards(n))
-	_ = par.ForEachShard(context.Background(), n, func(s, lo, hi int) error {
+	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
 		h := newTopkHeap(k, matchBetter)
 		var admitted, rejected uint64
 		for i := lo; i < hi; i++ {
@@ -268,6 +298,10 @@ func (ix *Index) topKByVector(query []float64, k int, f Filter, exclude int) ([]
 		out[s] = shardOut{matches: h.sorted(), admitted: admitted, rejected: rejected}
 		return nil
 	})
+	if err != nil {
+		topkErrors.Inc()
+		return nil, err
+	}
 	var admitted, rejected uint64
 	perShard := make([][]Match, len(out))
 	for s := range out {
@@ -297,12 +331,32 @@ type ProductRecommendation struct {
 // RecommendFromSimilar finds the target's top-k similar companies (after
 // filtering) and recommends the products they own that the target lacks.
 func (ix *Index) RecommendFromSimilar(id, k int, f Filter) ([]ProductRecommendation, error) {
-	peers, err := ix.TopK(id, k, f)
+	return ix.RecommendFromSimilarContext(context.Background(), id, k, f)
+}
+
+// RecommendFromSimilarContext is RecommendFromSimilar with a per-request
+// context. Every successfully served query — including one whose answer is
+// empty because the filter admits no peers — counts toward
+// recommend_requests_total and observes its fan-out; failed queries count
+// toward recommend_errors_total only.
+func (ix *Index) RecommendFromSimilarContext(ctx context.Context, id, k int, f Filter) ([]ProductRecommendation, error) {
+	peers, err := ix.TopKContext(ctx, id, k, f)
 	if err != nil {
+		recErrors.Inc()
 		return nil, err
 	}
+	out := ix.recommendFromPeers(id, peers)
+	recRequests.Inc()
+	recFanout.Observe(float64(len(out)))
+	return out, nil
+}
+
+// recommendFromPeers scores the gap-based recommendations for id given its
+// already-selected peer set. An empty peer set, or one whose similarities
+// are all non-positive, yields no recommendations.
+func (ix *Index) recommendFromPeers(id int, peers []Match) []ProductRecommendation {
 	if len(peers) == 0 {
-		return nil, nil
+		return nil
 	}
 	target := &ix.Corpus.Companies[id]
 	owned := make(map[int]bool)
@@ -324,7 +378,7 @@ func (ix *Index) RecommendFromSimilar(id, k int, f Filter) ([]ProductRecommendat
 		}
 	}
 	if totalSim == 0 {
-		return nil, nil
+		return nil
 	}
 	var out []ProductRecommendation
 	for cat, w := range weight {
@@ -344,9 +398,7 @@ func (ix *Index) RecommendFromSimilar(id, k int, f Filter) ([]ProductRecommendat
 		}
 		return out[a].Category < out[b].Category
 	})
-	recRequests.Inc()
-	recFanout.Observe(float64(len(out)))
-	return out, nil
+	return out
 }
 
 // Whitespace identifies prospect companies similar to an existing client
@@ -363,29 +415,36 @@ type WhitespaceProspect struct {
 // Whitespace ranks non-client companies by their similarity to the nearest
 // client, returning the top k.
 func (ix *Index) Whitespace(clientIDs []int, k int, f Filter) ([]WhitespaceProspect, error) {
+	return ix.WhitespaceContext(context.Background(), clientIDs, k, f)
+}
+
+// WhitespaceContext is Whitespace with a per-request context. Only queries
+// that pass argument validation and complete the scan count toward
+// whitespace_requests_total / whitespace_latency_seconds; rejected or
+// cancelled queries count toward whitespace_errors_total.
+func (ix *Index) WhitespaceContext(ctx context.Context, clientIDs []int, k int, f Filter) ([]WhitespaceProspect, error) {
 	if k < 1 {
+		wsErrors.Inc()
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if len(clientIDs) == 0 {
+		wsErrors.Inc()
 		return nil, fmt.Errorf("core: empty client set")
 	}
-	start := time.Now()
-	defer func() {
-		wsRequests.Inc()
-		wsLatency.Observe(time.Since(start).Seconds())
-	}()
 	isClient := make(map[int]bool, len(clientIDs))
 	clientRows := make([][]float64, len(clientIDs))
 	for ci, id := range clientIDs {
 		if id < 0 || id >= ix.Corpus.N() {
+			wsErrors.Inc()
 			return nil, fmt.Errorf("core: client id %d outside [0,%d)", id, ix.Corpus.N())
 		}
 		isClient[id] = true
 		clientRows[ci] = ix.Reps.Row(id)
 	}
+	start := time.Now()
 	n := ix.Corpus.N()
 	shards := make([][]WhitespaceProspect, par.NumShards(n))
-	_ = par.ForEachShard(context.Background(), n, func(s, lo, hi int) error {
+	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
 		h := newTopkHeap(k, prospectBetter)
 		for i := lo; i < hi; i++ {
 			if isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
@@ -403,7 +462,14 @@ func (ix *Index) Whitespace(clientIDs []int, k int, f Filter) ([]WhitespaceProsp
 		shards[s] = h.sorted()
 		return nil
 	})
-	return mergeTopK(shards, k, prospectBetter), nil
+	if err != nil {
+		wsErrors.Inc()
+		return nil, err
+	}
+	out := mergeTopK(shards, k, prospectBetter)
+	wsRequests.Inc()
+	wsLatency.Observe(time.Since(start).Seconds())
+	return out, nil
 }
 
 // prospectBetter is the total order for white-space prospects: similarity

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 
 	"math"
@@ -291,5 +292,187 @@ func TestQueryMetricsExposed(t *testing.T) {
 		if !strings.Contains(text, name) {
 			t.Errorf("/metrics exposition missing %q", name)
 		}
+	}
+}
+
+// TestMetricCountsServedVsErrors pins the served/error counter contract:
+// every successfully served query increments its *_requests_total exactly
+// once — including queries whose answer is empty — and every failed query
+// increments only its *_errors_total.
+func TestMetricCountsServedVsErrors(t *testing.T) {
+	c, reps := fixture()
+	ix, err := NewIndex(c, reps, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	counter := func(name string) uint64 { return reg.Counter(name, "").Value() }
+	histCount := func(name string) uint64 { return reg.Histogram(name, "", nil).Count() }
+
+	// Recommendation with a filter admitting no peers is still a served
+	// request: one recommend_requests_total tick and one fan-out
+	// observation (of 0), no error tick.
+	rec0, recErr0, fan0 := counter("recommend_requests_total"), counter("recommend_errors_total"), histCount("recommend_fanout_products")
+	out, err := ix.RecommendFromSimilar(0, 3, Filter{Country: "XX"})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty-peer recommendation: out=%v err=%v", out, err)
+	}
+	if got := counter("recommend_requests_total"); got != rec0+1 {
+		t.Fatalf("recommend_requests_total %d, want %d (empty answers are served requests)", got, rec0+1)
+	}
+	if got := histCount("recommend_fanout_products"); got != fan0+1 {
+		t.Fatalf("recommend_fanout_products count %d, want %d", got, fan0+1)
+	}
+	if got := counter("recommend_errors_total"); got != recErr0 {
+		t.Fatalf("recommend_errors_total moved on a served request (%d -> %d)", recErr0, got)
+	}
+
+	// Peers whose similarities are all exactly 0 (orthogonal vectors) also
+	// yield a served, empty recommendation.
+	oc := corpus.New(corpus.DefaultCatalog(), []corpus.Company{
+		{ID: 0, Acquisitions: []corpus.Acquisition{{Category: 0, First: 0}}},
+		{ID: 1, Acquisitions: []corpus.Acquisition{{Category: 1, First: 0}}},
+	})
+	oreps := mat.FromSlice(2, 2, []float64{1, 0, 0, 1})
+	oix, err := NewIndex(oc, oreps, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec0 = counter("recommend_requests_total")
+	if out, err = oix.RecommendFromSimilar(0, 1, Filter{}); err != nil || len(out) != 0 {
+		t.Fatalf("zero-similarity recommendation: out=%v err=%v", out, err)
+	}
+	if got := counter("recommend_requests_total"); got != rec0+1 {
+		t.Fatalf("zero-similarity query not counted as served (%d, want %d)", got, rec0+1)
+	}
+
+	// Recommendation for an invalid id fails: error tick only (plus the
+	// underlying top-k error tick).
+	rec0, recErr0 = counter("recommend_requests_total"), counter("recommend_errors_total")
+	if _, err = ix.RecommendFromSimilar(-1, 3, Filter{}); err == nil {
+		t.Fatal("invalid id accepted")
+	}
+	if got := counter("recommend_requests_total"); got != rec0 {
+		t.Fatalf("failed recommendation counted as served (%d -> %d)", rec0, got)
+	}
+	if got := counter("recommend_errors_total"); got != recErr0+1 {
+		t.Fatalf("recommend_errors_total %d, want %d", got, recErr0+1)
+	}
+
+	// Whitespace with an out-of-range client id fails before serving: no
+	// request tick, no latency observation, one error tick.
+	ws0, wsErr0, lat0 := counter("whitespace_requests_total"), counter("whitespace_errors_total"), histCount("whitespace_latency_seconds")
+	if _, err = ix.Whitespace([]int{999}, 3, Filter{}); err == nil {
+		t.Fatal("out-of-range client id accepted")
+	}
+	if _, err = ix.Whitespace(nil, 3, Filter{}); err == nil {
+		t.Fatal("empty client set accepted")
+	}
+	if _, err = ix.Whitespace([]int{0}, 0, Filter{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if got := counter("whitespace_requests_total"); got != ws0 {
+		t.Fatalf("failed whitespace queries counted as served (%d -> %d)", ws0, got)
+	}
+	if got := histCount("whitespace_latency_seconds"); got != lat0 {
+		t.Fatalf("failed whitespace queries observed latency (%d -> %d)", lat0, got)
+	}
+	if got := counter("whitespace_errors_total"); got != wsErr0+3 {
+		t.Fatalf("whitespace_errors_total %d, want %d", got, wsErr0+3)
+	}
+
+	// A served whitespace query ticks requests and latency exactly once.
+	ws0, lat0 = counter("whitespace_requests_total"), histCount("whitespace_latency_seconds")
+	if _, err = ix.Whitespace([]int{0}, 3, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter("whitespace_requests_total"); got != ws0+1 {
+		t.Fatalf("whitespace_requests_total %d, want %d", got, ws0+1)
+	}
+	if got := histCount("whitespace_latency_seconds"); got != lat0+1 {
+		t.Fatalf("whitespace_latency_seconds count %d, want %d", got, lat0+1)
+	}
+
+	// Top-k argument failures tick topk_errors_total, never requests.
+	tk0, tkErr0 := counter("topk_requests_total"), counter("topk_errors_total")
+	if _, err = ix.TopK(99, 3, Filter{}); err == nil {
+		t.Fatal("invalid id accepted")
+	}
+	if _, err = ix.TopK(0, 0, Filter{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err = ix.TopKByVector([]float64{1}, 3, Filter{}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if got := counter("topk_requests_total"); got != tk0 {
+		t.Fatalf("failed top-k queries counted as served (%d -> %d)", tk0, got)
+	}
+	if got := counter("topk_errors_total"); got != tkErr0+3 {
+		t.Fatalf("topk_errors_total %d, want %d", got, tkErr0+3)
+	}
+}
+
+// TestContextCancellationCountsAsError checks the Context query variants
+// surface ctx.Err() and count the query as an error, not a served request.
+func TestContextCancellationCountsAsError(t *testing.T) {
+	c, reps := fixture()
+	ix, err := NewIndex(c, reps, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := obs.Default()
+	counter := func(name string) uint64 { return reg.Counter(name, "").Value() }
+
+	tk0, tkErr0 := counter("topk_requests_total"), counter("topk_errors_total")
+	if _, err := ix.TopKContext(ctx, 0, 3, Filter{}); err == nil {
+		t.Fatal("cancelled top-k succeeded")
+	}
+	if got := counter("topk_requests_total"); got != tk0 {
+		t.Fatalf("cancelled top-k counted as served (%d -> %d)", tk0, got)
+	}
+	if got := counter("topk_errors_total"); got != tkErr0+1 {
+		t.Fatalf("topk_errors_total %d, want %d", got, tkErr0+1)
+	}
+
+	ws0, wsErr0 := counter("whitespace_requests_total"), counter("whitespace_errors_total")
+	if _, err := ix.WhitespaceContext(ctx, []int{0}, 3, Filter{}); err == nil {
+		t.Fatal("cancelled whitespace succeeded")
+	}
+	if got := counter("whitespace_requests_total"); got != ws0 {
+		t.Fatalf("cancelled whitespace counted as served (%d -> %d)", ws0, got)
+	}
+	if got := counter("whitespace_errors_total"); got != wsErr0+1 {
+		t.Fatalf("whitespace_errors_total %d, want %d", got, wsErr0+1)
+	}
+
+	recErr0 := counter("recommend_errors_total")
+	if _, err := ix.RecommendFromSimilarContext(ctx, 0, 3, Filter{}); err == nil {
+		t.Fatal("cancelled recommendation succeeded")
+	}
+	if got := counter("recommend_errors_total"); got != recErr0+1 {
+		t.Fatalf("recommend_errors_total %d, want %d", got, recErr0+1)
+	}
+}
+
+// TestFilterKeyCanonical checks Filter.Key distinguishes filters that admit
+// different sets and is stable for equal filters.
+func TestFilterKeyCanonical(t *testing.T) {
+	a := Filter{SIC2: 73, Country: "US", MinEmployees: 10, MaxRevenueM: 5.5}
+	b := Filter{SIC2: 73, Country: "US", MinEmployees: 10, MaxRevenueM: 5.5}
+	if a.Key() != b.Key() {
+		t.Fatalf("equal filters disagree: %q vs %q", a.Key(), b.Key())
+	}
+	variants := []Filter{
+		{}, {SIC2: 73}, {Country: "US"}, {MinEmployees: 10}, {MaxEmployees: 10},
+		{MinRevenueM: 1}, {MaxRevenueM: 1}, a,
+	}
+	seen := make(map[string]int)
+	for i, f := range variants {
+		if j, dup := seen[f.Key()]; dup {
+			t.Fatalf("filters %d and %d collide on key %q", i, j, f.Key())
+		}
+		seen[f.Key()] = i
 	}
 }

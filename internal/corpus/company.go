@@ -17,6 +17,47 @@ func MonthOf(year, month int) Month {
 	return Month((year-EpochYear)*12 + (month - 1))
 }
 
+// Plausible calendar bounds for parsed months. Years outside this range are
+// data errors: a mistyped "0001-05" would otherwise silently become a large
+// negative Month that breaks every window computation built on it.
+const (
+	MinParseYear = 1900
+	MaxParseYear = 2100
+)
+
+// ParseMonth parses a strict "YYYY-MM" calendar month: exactly four year
+// digits, a dash, exactly two month digits, and nothing else. The year must
+// fall in [MinParseYear, MaxParseYear] and the month in 01..12. Unlike a
+// Sscanf round trip it rejects trailing garbage ("2013-05xyz") and
+// implausible years ("0001-05").
+func ParseMonth(s string) (Month, error) {
+	if len(s) != 7 || s[4] != '-' {
+		return 0, fmt.Errorf("bad month %q: want YYYY-MM", s)
+	}
+	var y, mo int
+	for i := 0; i < 4; i++ {
+		d := s[i]
+		if d < '0' || d > '9' {
+			return 0, fmt.Errorf("bad month %q: want YYYY-MM", s)
+		}
+		y = y*10 + int(d-'0')
+	}
+	for i := 5; i < 7; i++ {
+		d := s[i]
+		if d < '0' || d > '9' {
+			return 0, fmt.Errorf("bad month %q: want YYYY-MM", s)
+		}
+		mo = mo*10 + int(d-'0')
+	}
+	if y < MinParseYear || y > MaxParseYear {
+		return 0, fmt.Errorf("month %q: year outside %d..%d", s, MinParseYear, MaxParseYear)
+	}
+	if mo < 1 || mo > 12 {
+		return 0, fmt.Errorf("month %q outside 01..12", s)
+	}
+	return MonthOf(y, mo), nil
+}
+
 // Year returns the calendar year of m (floor division, so months before
 // the 1990 epoch resolve to earlier years rather than wrapping).
 func (m Month) Year() int {

@@ -104,14 +104,11 @@ func ReadJSONL(r io.Reader) (*Corpus, error) {
 			if id < 0 {
 				return nil, fmt.Errorf("corpus: line %d: unknown category %q", line, a.Category)
 			}
-			var y, mo int
-			if _, err := fmt.Sscanf(a.First, "%d-%d", &y, &mo); err != nil {
-				return nil, fmt.Errorf("corpus: line %d: bad month %q: %w", line, a.First, err)
+			m, err := ParseMonth(a.First)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: line %d: %w", line, err)
 			}
-			if mo < 1 || mo > 12 {
-				return nil, fmt.Errorf("corpus: line %d: month %q outside 01..12", line, a.First)
-			}
-			co.Acquisitions = append(co.Acquisitions, Acquisition{Category: id, First: MonthOf(y, mo)})
+			co.Acquisitions = append(co.Acquisitions, Acquisition{Category: id, First: m})
 		}
 		co.SortAcquisitions()
 		companies = append(companies, co)

@@ -88,6 +88,8 @@ func FuzzReadJSONL(f *testing.F) {
 	f.Add([]byte(""))
 	f.Add([]byte(testHdr))
 	f.Add([]byte(testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"2001-13"}]}`))
+	f.Add([]byte(testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"0001-05"}]}`))
+	f.Add([]byte(testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"2013-05xyz"}]}`))
 	f.Add([]byte(testHdr + `{"id":2}` + "\n" + `{"id":2}`))
 	f.Add([]byte(`{"format":"installbase-corpus/v1","categories":[]}` + "\n"))
 	f.Add([]byte("{not json"))
@@ -113,4 +115,63 @@ func FuzzReadJSONL(f *testing.F) {
 			}
 		}
 	})
+}
+
+func TestParseMonthStrict(t *testing.T) {
+	good := map[string]Month{
+		"1990-01": MonthOf(1990, 1),
+		"2013-05": MonthOf(2013, 5),
+		"1900-12": MonthOf(1900, 12),
+		"2100-01": MonthOf(2100, 1),
+	}
+	for in, want := range good {
+		got, err := ParseMonth(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMonth(%q) = %v, %v; want %v, nil", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"",
+		"2013-5",     // month needs two digits
+		"13-05",      // year needs four digits
+		"2013-05xyz", // trailing garbage (Sscanf used to accept this)
+		"2013-05 ",   // trailing space
+		" 2013-05",   // leading space
+		"2013_05",    // wrong separator
+		"2013-13",    // month too large
+		"2013-00",    // month zero
+		"0001-05",    // implausible year (used to become a huge negative Month)
+		"1899-12",    // below MinParseYear
+		"2101-01",    // above MaxParseYear
+		"-013-05",    // sign instead of digit
+		"2013-0a",    // letter in month
+		"20a3-05",    // letter in year
+	}
+	for _, in := range bad {
+		if got, err := ParseMonth(in); err == nil {
+			t.Errorf("ParseMonth(%q) = %v, accepted; want error", in, got)
+		}
+	}
+}
+
+func TestReadJSONLRejectsImplausibleYear(t *testing.T) {
+	in := testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"0001-05"}]}` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("year 0001 accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("month error should carry the line number, got %q", err)
+	}
+}
+
+func TestReadJSONLRejectsTrailingGarbageMonth(t *testing.T) {
+	in := testHdr + `{"id":1,"acquisitions":[{"category":"a","first":"2013-05xyz"}]}` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("trailing garbage after YYYY-MM accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("month error should carry the line number, got %q", err)
+	}
 }

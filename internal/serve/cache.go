@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small, mutex-guarded response cache mapping canonical request
+// keys (endpoint + query id + filter key) to marshalled response bodies.
+// One lru belongs to exactly one loaded model state: a hot reload installs a
+// fresh cache together with the new index, so a stale answer can never
+// outlive the index it was computed from. A nil *lru is a valid, always-miss
+// cache (caching disabled).
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRU returns a cache holding at most capacity entries, or nil (caching
+// disabled) when capacity < 1.
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		return nil
+	}
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and refreshes its recency.
+func (c *lru) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// the cache is full.
+func (c *lru) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lru) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,662 @@
+// Package serve implements the HTTP query service over the Section 6
+// similarity index — the paper's deployed sales tool, which "allows for
+// searching companies similar to a given company" with business filters,
+// gap-based product recommendations and white-space prospecting, exposed as
+// a JSON API a load balancer can sit in front of.
+//
+// The server wraps one atomically swappable serving state (index + model +
+// response cache) behind four query endpoints and one admin endpoint:
+//
+//	GET  /v1/similar/{id}    top-k similar companies
+//	GET  /v1/recommend/{id}  gap-based product recommendations
+//	POST /v1/whitespace      white-space prospects for a client set
+//	POST /v1/infer           score an out-of-corpus company (fold-in inference)
+//	POST /admin/reload       hot-swap the model/index, invalidating the cache
+//	GET  /healthz            liveness + loaded-state shape
+//
+// Every query endpoint accepts the core.Filter fields (sic2, country,
+// min_employees, max_employees, min_revenue_m, max_revenue_m) as URL query
+// parameters (GET) or a "filter" JSON object (POST), runs under a
+// per-request deadline threaded into the sharded index scans, and passes
+// through a bounded-concurrency semaphore so a traffic spike degrades into
+// fast 503s instead of unbounded goroutine pile-up. Per-endpoint counters
+// and latency histograms report into the shared obs registry, which the
+// ibserve binary exposes on its -debug-addr listener; served requests and
+// failures are counted disjointly (serve_*_requests_total vs
+// serve_*_errors_total), matching the corrected core metric semantics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lda"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Server-wide metrics. Per-endpoint series are created in newEndpointMetrics.
+var (
+	inflight = obs.Default().Gauge("serve_inflight_requests",
+		"query requests currently executing inside the concurrency semaphore")
+	throttled = obs.Default().Counter("serve_throttled_total",
+		"query requests rejected 503 because the semaphore stayed full until the request deadline")
+	cacheHits = obs.Default().Counter("serve_cache_hits_total",
+		"query responses answered from the LRU response cache")
+	cacheMisses = obs.Default().Counter("serve_cache_misses_total",
+		"cacheable query responses computed against the index")
+	reloadsTotal = obs.Default().Counter("serve_reloads_total",
+		"successful hot model reloads (each swaps the index and empties the cache)")
+)
+
+// endpointMetrics is the per-endpoint served/error/latency triple. Served
+// requests and failures are disjoint: a request ticks exactly one of
+// requests or errors.
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+func newEndpointMetrics(name string) endpointMetrics {
+	return endpointMetrics{
+		requests: obs.Default().Counter("serve_"+name+"_requests_total",
+			name+" queries served"),
+		errors: obs.Default().Counter("serve_"+name+"_errors_total",
+			name+" queries that failed (bad arguments, saturation or deadline)"),
+		latency: obs.Default().Histogram("serve_"+name+"_latency_seconds",
+			"end-to-end latency of served "+name+" queries", obs.DefBuckets),
+	}
+}
+
+// Config parameterizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// DefaultK is the result count when a request omits k. Default 10.
+	DefaultK int
+	// DefaultPeers is the peer count consulted by /v1/recommend when the
+	// request omits peers. Default 25, the ibrec default.
+	DefaultPeers int
+	// MaxConcurrent bounds the query requests executing at once, sized like
+	// the par worker pool by default (par.Workers()); excess requests wait
+	// until their deadline and then fail fast with 503.
+	MaxConcurrent int
+	// Timeout is the per-request deadline threaded into the index scans.
+	// Default 5s.
+	Timeout time.Duration
+	// CacheSize is the LRU response-cache capacity in entries. Default 256;
+	// negative disables caching.
+	CacheSize int
+	// Seed drives the fold-in inference RNG of /v1/infer. Each request uses
+	// a fresh stream seeded here, so identical requests get identical
+	// representations regardless of interleaving. Default 1.
+	Seed int64
+	// Logger receives request-failure and reload lines. Default slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK == 0 {
+		c.DefaultK = 10
+	}
+	if c.DefaultPeers == 0 {
+		c.DefaultPeers = 25
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = par.Workers()
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Loader rebuilds the serving state from the backing store; /admin/reload
+// invokes it and atomically installs the result. The model may be nil when
+// the deployment does not serve /v1/infer.
+type Loader func(ctx context.Context) (*core.Index, *lda.Model, error)
+
+// state is one immutable serving generation: queries load it once at entry
+// and keep using it even if a reload swaps the pointer mid-request, so hot
+// reloads never disturb in-flight work.
+type state struct {
+	ix    *core.Index
+	model *lda.Model
+	cache *lru
+}
+
+// Server answers similarity, recommendation, white-space and inference
+// queries over an atomically swappable core.Index.
+type Server struct {
+	cfg  Config
+	load Loader
+	cur  atomic.Pointer[state]
+	sem  chan struct{}
+	mux  *http.ServeMux
+
+	mSimilar    endpointMetrics
+	mRecommend  endpointMetrics
+	mWhitespace endpointMetrics
+	mInfer      endpointMetrics
+	mReload     endpointMetrics
+}
+
+// New builds a Server over an already-constructed index. model may be nil
+// (then /v1/infer answers 501); load may be nil (then /admin/reload answers
+// 501).
+func New(ix *core.Index, model *lda.Model, load Loader, cfg Config) (*Server, error) {
+	if ix == nil {
+		return nil, errors.New("serve: nil index")
+	}
+	cfg = cfg.withDefaults()
+	if err := checkState(ix, model); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		load:        load,
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		mSimilar:    newEndpointMetrics("similar"),
+		mRecommend:  newEndpointMetrics("recommend"),
+		mWhitespace: newEndpointMetrics("whitespace"),
+		mInfer:      newEndpointMetrics("infer"),
+		mReload:     newEndpointMetrics("reload"),
+	}
+	s.cur.Store(&state{ix: ix, model: model, cache: newLRU(cfg.CacheSize)})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/similar/{id}", s.limited(&s.mSimilar, s.handleSimilar))
+	mux.HandleFunc("GET /v1/recommend/{id}", s.limited(&s.mRecommend, s.handleRecommend))
+	mux.HandleFunc("POST /v1/whitespace", s.limited(&s.mWhitespace, s.handleWhitespace))
+	mux.HandleFunc("POST /v1/infer", s.limited(&s.mInfer, s.handleInfer))
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	s.mux = mux
+	return s, nil
+}
+
+// checkState validates that a (index, model) pair can serve together: the
+// index rows must be the model's topic mixtures for /v1/infer to search
+// them with an inferred theta.
+func checkState(ix *core.Index, model *lda.Model) error {
+	if model == nil {
+		return nil
+	}
+	if ix.Reps.Cols != model.K {
+		return fmt.Errorf("serve: index dimension %d does not match model topics %d", ix.Reps.Cols, model.K)
+	}
+	if ix.Corpus.M() != model.V {
+		return fmt.Errorf("serve: corpus has %d categories, model %d", ix.Corpus.M(), model.V)
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP handler, ready to mount on a listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Index returns the current serving index (the generation new requests see).
+func (s *Server) Index() *core.Index { return s.cur.Load().ix }
+
+// apiError pairs an HTTP status with the underlying error.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// statusFor maps an error to its response status: explicit apiError status,
+// 504 for deadline/cancellation, else 400 (the remaining errors are core's
+// argument validation).
+func statusFor(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// response is one handler result: either pre-marshalled bytes (cache hit)
+// or a value to marshal, optionally stored under cacheKey afterwards.
+type response struct {
+	value    any
+	raw      []byte
+	cacheKey string
+}
+
+type handlerFunc func(ctx context.Context, st *state, r *http.Request) (response, error)
+
+// limited wraps a query handler with the serving pipeline: per-request
+// deadline, bounded concurrency, state capture, disjoint served/error
+// accounting and response marshalling (plus cache fill for cacheable
+// responses).
+func (s *Server) limited(m *endpointMetrics, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			throttled.Inc()
+			m.errors.Inc()
+			s.writeError(w, r, http.StatusServiceUnavailable, errors.New("serve: saturated, retry later"))
+			return
+		}
+		defer func() { <-s.sem }()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		st := s.cur.Load()
+		resp, err := h(ctx, st, r)
+		if err != nil {
+			m.errors.Inc()
+			s.writeError(w, r, statusFor(err), err)
+			return
+		}
+		body := resp.raw
+		if body == nil {
+			if body, err = json.Marshal(resp.value); err != nil {
+				m.errors.Inc()
+				s.writeError(w, r, http.StatusInternalServerError, err)
+				return
+			}
+			body = append(body, '\n')
+			if resp.cacheKey != "" {
+				st.cache.put(resp.cacheKey, body)
+			}
+		}
+		m.requests.Inc()
+		m.latency.Observe(time.Since(start).Seconds())
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.cfg.Logger.Debug("request failed", "path", r.URL.Path, "status", status, "err", err.Error())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// filterParams mirrors core.Filter in the JSON body shape of the POST
+// endpoints; zero values mean "any", as in core.
+type filterParams struct {
+	SIC2         int     `json:"sic2,omitempty"`
+	Country      string  `json:"country,omitempty"`
+	MinEmployees int     `json:"min_employees,omitempty"`
+	MaxEmployees int     `json:"max_employees,omitempty"`
+	MinRevenueM  float64 `json:"min_revenue_m,omitempty"`
+	MaxRevenueM  float64 `json:"max_revenue_m,omitempty"`
+}
+
+func (p filterParams) filter() core.Filter {
+	return core.Filter{
+		SIC2: p.SIC2, Country: p.Country,
+		MinEmployees: p.MinEmployees, MaxEmployees: p.MaxEmployees,
+		MinRevenueM: p.MinRevenueM, MaxRevenueM: p.MaxRevenueM,
+	}
+}
+
+// filterFromQuery parses the core.Filter fields from URL query parameters.
+func filterFromQuery(q url.Values) (core.Filter, error) {
+	var f core.Filter
+	var err error
+	if f.SIC2, err = intParam(q, "sic2"); err != nil {
+		return f, err
+	}
+	f.Country = q.Get("country")
+	if f.MinEmployees, err = intParam(q, "min_employees"); err != nil {
+		return f, err
+	}
+	if f.MaxEmployees, err = intParam(q, "max_employees"); err != nil {
+		return f, err
+	}
+	if f.MinRevenueM, err = floatParam(q, "min_revenue_m"); err != nil {
+		return f, err
+	}
+	if f.MaxRevenueM, err = floatParam(q, "max_revenue_m"); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func intParam(q url.Values, name string) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest("serve: parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+func floatParam(q url.Values, name string) (float64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badRequest("serve: parameter %s=%q is not a number", name, v)
+	}
+	return x, nil
+}
+
+// pathID parses the {id} path segment.
+func pathID(r *http.Request) (int, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("serve: company id %q is not an integer", raw)
+	}
+	return id, nil
+}
+
+// JSON response shapes.
+
+type matchJSON struct {
+	CompanyID  int     `json:"company_id"`
+	Name       string  `json:"name"`
+	Similarity float64 `json:"similarity"`
+}
+
+type similarResponse struct {
+	CompanyID int         `json:"company_id"`
+	Name      string      `json:"name"`
+	K         int         `json:"k"`
+	Matches   []matchJSON `json:"matches"`
+}
+
+type recommendationJSON struct {
+	Category int     `json:"category"`
+	Name     string  `json:"name"`
+	Strength float64 `json:"strength"`
+	Owners   int     `json:"owners"`
+}
+
+type recommendResponse struct {
+	CompanyID       int                  `json:"company_id"`
+	Name            string               `json:"name"`
+	Peers           int                  `json:"peers"`
+	Recommendations []recommendationJSON `json:"recommendations"`
+}
+
+type prospectJSON struct {
+	CompanyID     int     `json:"company_id"`
+	Name          string  `json:"name"`
+	NearestClient int     `json:"nearest_client"`
+	Similarity    float64 `json:"similarity"`
+}
+
+type whitespaceRequest struct {
+	Clients []int        `json:"clients"`
+	K       int          `json:"k,omitempty"`
+	Filter  filterParams `json:"filter"`
+}
+
+type whitespaceResponse struct {
+	K         int            `json:"k"`
+	Prospects []prospectJSON `json:"prospects"`
+}
+
+type inferRequest struct {
+	Owned  []int        `json:"owned"`
+	K      int          `json:"k,omitempty"`
+	Filter filterParams `json:"filter"`
+}
+
+type inferResponse struct {
+	Theta   []float64   `json:"theta"`
+	K       int         `json:"k"`
+	Matches []matchJSON `json:"matches"`
+}
+
+type healthResponse struct {
+	Status    string `json:"status"`
+	Companies int    `json:"companies"`
+	Dim       int    `json:"dim"`
+	Topics    int    `json:"topics,omitempty"`
+	Cached    int    `json:"cached"`
+}
+
+type reloadResponse struct {
+	Companies   int  `json:"companies"`
+	Dim         int  `json:"dim"`
+	Topics      int  `json:"topics,omitempty"`
+	Invalidated int  `json:"invalidated"`
+	Reloaded    bool `json:"reloaded"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	resp := healthResponse{
+		Status:    "ok",
+		Companies: st.ix.Corpus.N(),
+		Dim:       st.ix.Reps.Cols,
+		Cached:    st.cache.len(),
+	}
+	if st.model != nil {
+		resp.Topics = st.model.K
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) matches(st *state, ms []core.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{
+			CompanyID:  m.CompanyID,
+			Name:       st.ix.Corpus.Companies[m.CompanyID].Name,
+			Similarity: m.Similarity,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSimilar(ctx context.Context, st *state, r *http.Request) (response, error) {
+	id, err := pathID(r)
+	if err != nil {
+		return response{}, err
+	}
+	q := r.URL.Query()
+	k, err := intParam(q, "k")
+	if err != nil {
+		return response{}, err
+	}
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	f, err := filterFromQuery(q)
+	if err != nil {
+		return response{}, err
+	}
+	key := fmt.Sprintf("similar|%d|%d|%s", id, k, f.Key())
+	if body, ok := st.cache.get(key); ok {
+		cacheHits.Inc()
+		return response{raw: body}, nil
+	}
+	cacheMisses.Inc()
+	ms, err := st.ix.TopKContext(ctx, id, k, f)
+	if err != nil {
+		return response{}, err
+	}
+	return response{
+		value: similarResponse{
+			CompanyID: id,
+			Name:      st.ix.Corpus.Companies[id].Name,
+			K:         k,
+			Matches:   s.matches(st, ms),
+		},
+		cacheKey: key,
+	}, nil
+}
+
+func (s *Server) handleRecommend(ctx context.Context, st *state, r *http.Request) (response, error) {
+	id, err := pathID(r)
+	if err != nil {
+		return response{}, err
+	}
+	q := r.URL.Query()
+	peers, err := intParam(q, "peers")
+	if err != nil {
+		return response{}, err
+	}
+	if peers == 0 {
+		peers = s.cfg.DefaultPeers
+	}
+	f, err := filterFromQuery(q)
+	if err != nil {
+		return response{}, err
+	}
+	key := fmt.Sprintf("recommend|%d|%d|%s", id, peers, f.Key())
+	if body, ok := st.cache.get(key); ok {
+		cacheHits.Inc()
+		return response{raw: body}, nil
+	}
+	cacheMisses.Inc()
+	recs, err := st.ix.RecommendFromSimilarContext(ctx, id, peers, f)
+	if err != nil {
+		return response{}, err
+	}
+	out := make([]recommendationJSON, len(recs))
+	for i, rec := range recs {
+		out[i] = recommendationJSON{
+			Category: rec.Category, Name: rec.Name,
+			Strength: rec.Strength, Owners: rec.Owners,
+		}
+	}
+	return response{
+		value: recommendResponse{
+			CompanyID:       id,
+			Name:            st.ix.Corpus.Companies[id].Name,
+			Peers:           peers,
+			Recommendations: out,
+		},
+		cacheKey: key,
+	}, nil
+}
+
+func (s *Server) handleWhitespace(ctx context.Context, st *state, r *http.Request) (response, error) {
+	var req whitespaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return response{}, badRequest("serve: bad whitespace request body: %v", err)
+	}
+	k := req.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	prospects, err := st.ix.WhitespaceContext(ctx, req.Clients, k, req.Filter.filter())
+	if err != nil {
+		return response{}, err
+	}
+	out := make([]prospectJSON, len(prospects))
+	for i, p := range prospects {
+		out[i] = prospectJSON{
+			CompanyID:     p.CompanyID,
+			Name:          st.ix.Corpus.Companies[p.CompanyID].Name,
+			NearestClient: p.NearestClient,
+			Similarity:    p.Similarity,
+		}
+	}
+	return response{value: whitespaceResponse{K: k, Prospects: out}}, nil
+}
+
+func (s *Server) handleInfer(ctx context.Context, st *state, r *http.Request) (response, error) {
+	if st.model == nil {
+		return response{}, &apiError{status: http.StatusNotImplemented,
+			err: errors.New("serve: no model loaded; /v1/infer unavailable")}
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return response{}, badRequest("serve: bad infer request body: %v", err)
+	}
+	if len(req.Owned) == 0 {
+		return response{}, badRequest("serve: infer request needs a non-empty owned category set")
+	}
+	for _, cat := range req.Owned {
+		if cat < 0 || cat >= st.model.V {
+			return response{}, badRequest("serve: owned category %d outside [0,%d)", cat, st.model.V)
+		}
+	}
+	k := req.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	// A fresh stream per request keeps fold-in inference deterministic for
+	// identical requests and safe under concurrency (no shared RNG state).
+	theta := st.model.InferTheta(req.Owned, rng.New(s.cfg.Seed))
+	ms, err := st.ix.TopKByVectorContext(ctx, theta, k, req.Filter.filter())
+	if err != nil {
+		return response{}, err
+	}
+	return response{value: inferResponse{Theta: theta, K: k, Matches: s.matches(st, ms)}}, nil
+}
+
+// handleReload rebuilds the serving state through the Loader and installs
+// it atomically. In-flight queries keep the generation they captured at
+// entry; new queries see the new index and an empty cache.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.load == nil {
+		s.mReload.errors.Inc()
+		s.writeError(w, r, http.StatusNotImplemented, errors.New("serve: no loader configured"))
+		return
+	}
+	ix, model, err := s.load(r.Context())
+	if err != nil {
+		s.mReload.errors.Inc()
+		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: reload failed: %w", err))
+		return
+	}
+	if err := checkState(ix, model); err != nil {
+		s.mReload.errors.Inc()
+		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: reload rejected: %w", err))
+		return
+	}
+	old := s.cur.Swap(&state{ix: ix, model: model, cache: newLRU(s.cfg.CacheSize)})
+	reloadsTotal.Inc()
+	s.mReload.requests.Inc()
+	s.mReload.latency.Observe(time.Since(start).Seconds())
+	resp := reloadResponse{
+		Companies:   ix.Corpus.N(),
+		Dim:         ix.Reps.Cols,
+		Invalidated: old.cache.len(),
+		Reloaded:    true,
+	}
+	if model != nil {
+		resp.Topics = model.K
+	}
+	s.cfg.Logger.Info("model reloaded", "companies", resp.Companies, "dim", resp.Dim, "invalidated", resp.Invalidated)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

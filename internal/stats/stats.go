@@ -242,7 +242,10 @@ func BinomialTailProb(n, k int, p float64) float64 {
 		term := math.Exp(lt)
 		sum += term
 		// Terms decay geometrically once past the mode; stop when negligible.
-		if i > int(float64(n)*p) && term < sum*1e-12 {
+		// A far-tail query can have every term underflow to exactly 0, which
+		// keeps sum at 0 and defeats the relative threshold below — without
+		// the term == 0 break such a query walks all n-k remaining terms.
+		if i > int(float64(n)*p) && (term == 0 || term < sum*1e-12) {
 			break
 		}
 	}

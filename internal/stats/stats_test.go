@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMeanVariance(t *testing.T) {
@@ -285,5 +286,20 @@ func TestCIOverlapNaN(t *testing.T) {
 	half := CI{Lo: 0, Hi: math.NaN()}
 	if half.Overlaps(real1) {
 		t.Fatal("half-NaN interval must not overlap")
+	}
+}
+
+// TestBinomialTailFarTailUnderflow pins the far-tail early exit: when every
+// tail term underflows to exactly 0 the loop must stop at the first such
+// term past the mode instead of walking all n-k remaining terms.
+func TestBinomialTailFarTailUnderflow(t *testing.T) {
+	start := time.Now()
+	got := BinomialTailProb(5_000_000, 1000, 1e-9)
+	elapsed := time.Since(start)
+	if got != 0 {
+		t.Fatalf("far-tail P(X >= 1000) = %g, want exactly 0", got)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("far-tail query took %v; underflow early-exit broken", elapsed)
 	}
 }
