@@ -7,6 +7,7 @@ package hiddenlayer
 // produces the full-size numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/corpus"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/ngram"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // benchCtx caches one Quick-scale context across benchmarks in a run.
@@ -403,5 +405,62 @@ func BenchmarkObsSpanEnabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sp := r.StartSpan("bench.enabled")
 		sp.End()
+	}
+}
+
+// BenchmarkTraceStartDisabled measures the cost a traced call site pays when
+// tracing is off and the context carries no span: one map-free context probe
+// and a nil return, no allocation.
+func BenchmarkTraceStartDisabled(b *testing.B) {
+	tr := trace.NewTracer(16) // disabled by default
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.Start(ctx, "bench.disabled")
+		sp.AttrInt("i", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkTraceSpanEnabled measures one child Start/attr/End under an
+// active trace, including the obs histogram observation End feeds.
+func BenchmarkTraceSpanEnabled(b *testing.B) {
+	tr := trace.NewTracer(16)
+	tr.SetEnabled(true)
+	tr.SetSampleRate(0) // complete traces are discarded, not accumulated
+	tr.SetMaxSpans(1 << 30)
+	ctx, root := tr.Start(context.Background(), "bench.root")
+	defer root.End()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := trace.Start(ctx, "bench.child")
+		sp.AttrInt("i", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkTraceRootRetained measures a full root-span lifecycle ending in
+// tail-sampling retention and a lock-free ring push.
+func BenchmarkTraceRootRetained(b *testing.B) {
+	tr := trace.NewTracer(256)
+	tr.SetEnabled(true)
+	tr.SetSampleRate(1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.Start(ctx, "bench.request")
+		sp.End()
+	}
+}
+
+// BenchmarkParseTraceparent measures the strict W3C header parse on the
+// serve ingestion path.
+func BenchmarkParseTraceparent(b *testing.B) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := trace.ParseTraceparent(h); !ok {
+			b.Fatal("valid header rejected")
+		}
 	}
 }

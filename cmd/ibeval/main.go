@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 var logger *slog.Logger
@@ -61,12 +63,19 @@ func main() {
 	)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel grids/scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	traceFlags := trace.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	traceFlags.Apply(trace.Default())
 
 	var stopDebug func()
-	logger, stopDebug = obsFlags.Init("ibeval")
+	logger, stopDebug = obsFlags.Init("ibeval", trace.Routes(trace.Default())...)
 	defer stopDebug()
+
+	// With -trace the whole evaluation run becomes one trace: a root span with
+	// one child per experiment, visible on -debug-addr /debug/traces.
+	tctx, root := trace.Default().Start(context.Background(), "ibeval.main")
+	root.Attr("exp", *exp)
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -122,11 +131,16 @@ func main() {
 		if obsFlags.Progress {
 			logger.Info("experiment starting", "name", name)
 		}
+		_, esp := trace.Start(tctx, "ibeval.exp")
+		esp.Attr("name", name)
 		start := time.Now()
 		out, err := fn()
 		if err != nil {
+			esp.Error(err)
+			esp.End()
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
+		esp.End()
 		if obsFlags.Progress {
 			logger.Info("experiment done", "name", name, "elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
@@ -263,6 +277,7 @@ func main() {
 		}
 	}
 
+	root.End()
 	if *metricsOut != "" {
 		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
 			fatal(err)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // progressEvery is how many companies pass between -progress log lines.
@@ -45,10 +46,12 @@ func main() {
 		stats     = flag.Bool("stats", true, "print corpus statistics")
 	)
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	traceFlags := trace.BindFlags(flag.CommandLine)
 	flag.Parse()
+	traceFlags.Apply(trace.Default())
 
 	var stopDebug func()
-	logger, stopDebug = obsFlags.Init("ibgen")
+	logger, stopDebug = obsFlags.Init("ibgen", trace.Routes(trace.Default())...)
 	defer stopDebug()
 
 	sp := obs.Start("ibgen.generate")

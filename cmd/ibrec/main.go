@@ -33,6 +33,7 @@ import (
 	"repro/internal/lda"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 var logger *slog.Logger
@@ -78,11 +79,13 @@ func main() {
 	)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel grids/scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	traceFlags := trace.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	traceFlags.Apply(trace.Default())
 
 	var stopDebug func()
-	logger, stopDebug = obsFlags.Init("ibrec")
+	logger, stopDebug = obsFlags.Init("ibrec", trace.Routes(trace.Default())...)
 	defer stopDebug()
 	var progress obs.Progress
 	if obsFlags.Progress {

@@ -27,7 +27,13 @@
 // Observability: -debug-addr serves /metrics (including the per-endpoint
 // serve_*_requests_total / serve_*_errors_total / serve_*_latency_seconds
 // series), /metrics.json, /debug/vars and /debug/pprof on a side listener.
-// SIGINT/SIGTERM drains connections gracefully before exiting.
+// -trace additionally records request-scoped span trees with tail sampling
+// (error and slow traces always kept, the rest at -trace-sample) and serves
+// them as /debug/traces and /debug/traces/{id} on the same listener; requests
+// presenting a W3C traceparent header join the caller's trace and get the
+// assigned IDs echoed back. Every request emits one structured access-log
+// line (-quiet keeps only failures and slow queries). SIGINT/SIGTERM drains
+// connections gracefully before exiting.
 package main
 
 import (
@@ -51,6 +57,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 var logger *slog.Logger
@@ -102,15 +109,18 @@ func main() {
 		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
 		cacheSize = flag.Int("cache-size", 256, "LRU response cache entries (negative disables)")
 		grace     = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
+		quiet     = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
 	)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel index scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	traceFlags := trace.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	traceFlags.Apply(trace.Default())
 
 	logger = obs.NewCLILogger(os.Stderr, "ibserve", obsFlags.Verbose)
 	if obsFlags.DebugAddr != "" {
-		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default())
+		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default(), trace.Routes(trace.Default())...)
 		if err != nil {
 			fatal(err)
 		}
@@ -136,6 +146,7 @@ func main() {
 		CacheSize:     *cacheSize,
 		Seed:          *seed,
 		Logger:        logger,
+		Quiet:         *quiet,
 	})
 	if err != nil {
 		fatal(err)

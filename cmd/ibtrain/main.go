@@ -27,10 +27,14 @@
 // the checkpoint file itself.
 //
 // Observability: -debug-addr serves /metrics (Prometheus text format),
-// /metrics.json, /debug/vars and /debug/pprof on a side listener while
-// training runs; -progress logs one structured line per training iteration;
-// -metrics-out writes a final JSON metrics snapshot next to the model so
-// benchmark runs leave a machine-readable trace.
+// /metrics.json, /debug/vars, /debug/pprof and /debug/traces on a side
+// listener while training runs; -progress logs one structured line per
+// training iteration; -metrics-out writes a final JSON metrics snapshot next
+// to the model so benchmark runs leave a machine-readable trace. -trace
+// records the run as a span tree (one child span per epoch/sweep and per
+// checkpoint write) and -trace-out writes that tree as JSON next to the
+// model, forcing tracing on with full retention and a raised span cap so
+// long schedules keep every epoch.
 package main
 
 import (
@@ -57,6 +61,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sgns"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 var logger *slog.Logger
@@ -150,14 +155,24 @@ func main() {
 		resume    = flag.String("resume", "", "resume training from this checkpoint; the model family is inferred from the file")
 
 		metricsOut = flag.String("metrics-out", "", "write a final JSON metrics snapshot to this path")
+		traceOut   = flag.String("trace-out", "", "write the training trace tree as JSON to this path (forces -trace with full retention)")
 	)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel grids/scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	traceFlags := trace.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	traceFlags.Apply(trace.Default())
+	if *traceOut != "" {
+		// The file sink must not lose its trace to tail sampling, and long
+		// schedules need more than the default span cap to keep every epoch.
+		trace.Default().SetEnabled(true)
+		trace.Default().SetSampleRate(1)
+		trace.Default().SetMaxSpans(8192)
+	}
 
 	var stopDebug func()
-	logger, stopDebug = obsFlags.Init("ibtrain")
+	logger, stopDebug = obsFlags.Init("ibtrain", trace.Routes(trace.Default())...)
 	defer stopDebug()
 
 	if *resume != "" {
@@ -194,6 +209,11 @@ func main() {
 	// context.Canceled, which checkTrainErr turns into a clean exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The whole run becomes one trace rooted here; the trainers hang their
+	// per-epoch/per-sweep and checkpoint spans off the ctx.
+	ctx, root := trace.Default().Start(ctx, "ibtrain.train")
+	root.Attr("model", *model)
 
 	var progress obs.Progress
 	if obsFlags.Progress {
@@ -342,12 +362,19 @@ func main() {
 		fmt.Printf("BPMF rank %d: train RMSE %.3f\n", m.Rank, m.RMSE(ratings))
 		writeModel(*out, m)
 	}
+	root.End()
 	fmt.Printf("model written to %s\n", *out)
 	if *metricsOut != "" {
 		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
 			fatal(err)
 		}
 		logger.Info("metrics snapshot written", "path", *metricsOut)
+	}
+	if *traceOut != "" && root.Active() {
+		if err := trace.Default().WriteFile(root.TraceID().String(), *traceOut); err != nil {
+			fatal(err)
+		}
+		logger.Info("trace written", "path", *traceOut)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // Snapshot container kinds for BPMF artifacts.
@@ -233,15 +234,37 @@ func Resume(ctx context.Context, ck *Checkpoint, ratings []Rating, hooks Config)
 func trainLoop(ctx context.Context, cfg Config, ratings []Rating, byUser, byItem [][]Rating, u, v, scoreAcc *mat.Matrix, kept, startSweep int, g *rng.RNG) (*Model, error) {
 	n, mItems := u.Rows, v.Rows
 	sp := obs.Start("bpmf.train")
+	// Each sweep (and each checkpoint write) becomes a child span when ctx
+	// carries an active trace; spans never touch the factor matrices or the
+	// RNG stream, so traced and untraced runs are bit-identical.
+	traced := trace.FromContext(ctx) != nil
+	checkpoint := func(ck *Checkpoint) error {
+		var csp *trace.Span
+		if traced {
+			_, csp = trace.Start(ctx, "bpmf.train.checkpoint")
+			csp.AttrInt("sweep", int64(ck.Sweep))
+		}
+		err := cfg.Checkpoint(ck)
+		if err != nil {
+			csp.Error(err)
+		}
+		csp.End()
+		return err
+	}
 	total := cfg.Burn + cfg.Samples
 	for sweep := startSweep; sweep < total; sweep++ {
 		if err := ctx.Err(); err != nil {
 			if cfg.Checkpoint != nil {
-				if cerr := cfg.Checkpoint(snapshotState(&cfg, u, v, scoreAcc, kept, sweep, g)); cerr != nil {
+				if cerr := checkpoint(snapshotState(&cfg, u, v, scoreAcc, kept, sweep, g)); cerr != nil {
 					return nil, fmt.Errorf("bpmf: writing cancellation checkpoint: %w", cerr)
 				}
 			}
 			return nil, fmt.Errorf("bpmf: training interrupted after sweep %d/%d: %w", sweep, total, err)
+		}
+		var swsp *trace.Span
+		if traced {
+			_, swsp = trace.Start(ctx, "bpmf.train.sweep")
+			swsp.AttrInt("sweep", int64(sweep))
 		}
 		var sweepStart time.Time
 		if cfg.Progress != nil {
@@ -304,9 +327,10 @@ func trainLoop(ctx context.Context, cfg Config, ratings []Rating, byUser, byItem
 				Loss: rmse, TokensPerSec: tps,
 			})
 		}
+		swsp.End()
 		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
 			(sweep+1)%cfg.CheckpointEvery == 0 && sweep+1 < total {
-			if err := cfg.Checkpoint(snapshotState(&cfg, u, v, scoreAcc, kept, sweep+1, g)); err != nil {
+			if err := checkpoint(snapshotState(&cfg, u, v, scoreAcc, kept, sweep+1, g)); err != nil {
 				return nil, fmt.Errorf("bpmf: checkpoint hook at sweep %d: %w", sweep+1, err)
 			}
 		}

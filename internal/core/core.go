@@ -16,6 +16,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Serving-path metrics. Candidate counters are accumulated locally per query
@@ -276,6 +277,11 @@ func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Fil
 	}
 	start := time.Now()
 	n := ix.Corpus.N()
+	// The scan span parents the per-shard spans par.ForEachShard records, so
+	// a traced request decomposes into its shard fan-out.
+	ctx, sp := trace.Start(ctx, "core.topk")
+	sp.AttrInt("k", int64(k))
+	sp.AttrInt("candidates", int64(n))
 	type shardOut struct {
 		matches            []Match
 		admitted, rejected uint64
@@ -300,6 +306,8 @@ func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Fil
 	})
 	if err != nil {
 		topkErrors.Inc()
+		sp.Error(err)
+		sp.End()
 		return nil, err
 	}
 	var admitted, rejected uint64
@@ -310,6 +318,9 @@ func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Fil
 		rejected += out[s].rejected
 	}
 	matches := mergeTopK(perShard, k, matchBetter)
+	sp.AttrInt("admitted", int64(admitted))
+	sp.AttrInt("filtered", int64(rejected))
+	sp.End()
 	topkRequests.Inc()
 	topkAdmitted.Add(admitted)
 	topkFiltered.Add(rejected)
@@ -340,12 +351,18 @@ func (ix *Index) RecommendFromSimilar(id, k int, f Filter) ([]ProductRecommendat
 // recommend_requests_total and observes its fan-out; failed queries count
 // toward recommend_errors_total only.
 func (ix *Index) RecommendFromSimilarContext(ctx context.Context, id, k int, f Filter) ([]ProductRecommendation, error) {
+	ctx, sp := trace.Start(ctx, "core.recommend")
+	sp.AttrInt("peers_wanted", int64(k))
 	peers, err := ix.TopKContext(ctx, id, k, f)
 	if err != nil {
 		recErrors.Inc()
+		sp.Error(err)
+		sp.End()
 		return nil, err
 	}
 	out := ix.recommendFromPeers(id, peers)
+	sp.AttrInt("fanout", int64(len(out)))
+	sp.End()
 	recRequests.Inc()
 	recFanout.Observe(float64(len(out)))
 	return out, nil
@@ -443,6 +460,10 @@ func (ix *Index) WhitespaceContext(ctx context.Context, clientIDs []int, k int, 
 	}
 	start := time.Now()
 	n := ix.Corpus.N()
+	ctx, sp := trace.Start(ctx, "core.whitespace")
+	sp.AttrInt("clients", int64(len(clientIDs)))
+	sp.AttrInt("k", int64(k))
+	sp.AttrInt("candidates", int64(n))
 	shards := make([][]WhitespaceProspect, par.NumShards(n))
 	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
 		h := newTopkHeap(k, prospectBetter)
@@ -464,9 +485,12 @@ func (ix *Index) WhitespaceContext(ctx context.Context, clientIDs []int, k int, 
 	})
 	if err != nil {
 		wsErrors.Inc()
+		sp.Error(err)
+		sp.End()
 		return nil, err
 	}
 	out := mergeTopK(shards, k, prospectBetter)
+	sp.End()
 	wsRequests.Inc()
 	wsLatency.Observe(time.Since(start).Seconds())
 	return out, nil

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 var (
@@ -215,16 +216,38 @@ func trainLoop(ctx context.Context, cfg Config, model *Model, opt optimizer, sta
 	gr := newGrads(model)
 
 	sp := obs.Start("gru.train")
+	// Each epoch (and each checkpoint write) becomes a child span when ctx
+	// carries an active trace; spans never touch model state or the RNG
+	// stream, so traced and untraced runs are bit-identical.
+	traced := trace.FromContext(ctx) != nil
+	checkpoint := func(ck *Checkpoint) error {
+		var csp *trace.Span
+		if traced {
+			_, csp = trace.Start(ctx, "gru.train.checkpoint")
+			csp.AttrInt("epoch", int64(ck.Epoch))
+		}
+		err := cfg.Checkpoint(ck)
+		if err != nil {
+			csp.Error(err)
+		}
+		csp.End()
+		return err
+	}
 	order := make([]int, len(train))
 	step := startStep
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			if cfg.Checkpoint != nil {
-				if cerr := cfg.Checkpoint(snapshotState(&cfg, model, opt, epoch, step, stats, g)); cerr != nil {
+				if cerr := checkpoint(snapshotState(&cfg, model, opt, epoch, step, stats, g)); cerr != nil {
 					return nil, stats, fmt.Errorf("gru: writing cancellation checkpoint: %w", cerr)
 				}
 			}
 			return nil, stats, fmt.Errorf("gru: training interrupted after epoch %d/%d: %w", epoch, cfg.Epochs, err)
+		}
+		var epsp *trace.Span
+		if traced {
+			_, epsp = trace.Start(ctx, "gru.train.epoch")
+			epsp.AttrInt("epoch", int64(epoch))
 		}
 		var epochStart time.Time
 		if cfg.Progress != nil {
@@ -284,9 +307,10 @@ func trainLoop(ctx context.Context, cfg Config, model *Model, opt optimizer, sta
 				Loss: meanNLL, TokensPerSec: tps,
 			})
 		}
+		epsp.End()
 		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
 			(epoch+1)%cfg.CheckpointEvery == 0 && epoch+1 < cfg.Epochs {
-			if err := cfg.Checkpoint(snapshotState(&cfg, model, opt, epoch+1, step, stats, g)); err != nil {
+			if err := checkpoint(snapshotState(&cfg, model, opt, epoch+1, step, stats, g)); err != nil {
 				return nil, stats, fmt.Errorf("gru: checkpoint hook at epoch %d: %w", epoch+1, err)
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // Snapshot container kinds for LDA artifacts.
@@ -320,6 +321,24 @@ func (s *sampler) run(ctx context.Context, startSweep int) (*Model, error) {
 	g := s.g
 
 	sp := obs.Start("lda.train")
+	// Each sweep (and each checkpoint write) becomes a child span when the
+	// caller's ctx carries an active trace — ibtrain -trace turns a training
+	// run into one tree of per-sweep timings. Spans never touch the sampler
+	// state or its RNG stream, so traced and untraced runs are bit-identical.
+	traced := trace.FromContext(ctx) != nil
+	checkpoint := func(ck *Checkpoint) error {
+		var csp *trace.Span
+		if traced {
+			_, csp = trace.Start(ctx, "lda.train.checkpoint")
+			csp.AttrInt("sweep", int64(ck.Sweep))
+		}
+		err := cfg.Checkpoint(ck)
+		if err != nil {
+			csp.Error(err)
+		}
+		csp.End()
+		return err
+	}
 	// The progress hook's in-sample log-likelihood reads the current count
 	// matrices only — no random draws — so installing a hook never perturbs
 	// the sampler's stream. Both the per-document weight totals and the
@@ -351,11 +370,16 @@ func (s *sampler) run(ctx context.Context, startSweep int) (*Model, error) {
 	for sweep := startSweep; sweep < total; sweep++ {
 		if err := ctx.Err(); err != nil {
 			if cfg.Checkpoint != nil {
-				if cerr := cfg.Checkpoint(s.snapshotState(sweep)); cerr != nil {
+				if cerr := checkpoint(s.snapshotState(sweep)); cerr != nil {
 					return nil, fmt.Errorf("lda: writing cancellation checkpoint: %w", cerr)
 				}
 			}
 			return nil, fmt.Errorf("lda: training interrupted after sweep %d/%d: %w", sweep, total, err)
+		}
+		var swsp *trace.Span
+		if traced {
+			_, swsp = trace.Start(ctx, "lda.train.sweep")
+			swsp.AttrInt("sweep", int64(sweep))
 		}
 		var sweepStart time.Time
 		if cfg.Progress != nil {
@@ -401,9 +425,10 @@ func (s *sampler) run(ctx context.Context, startSweep int) (*Model, error) {
 			}
 			s.samples++
 		}
+		swsp.End()
 		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
 			(sweep+1)%cfg.CheckpointEvery == 0 && sweep+1 < total {
-			if err := cfg.Checkpoint(s.snapshotState(sweep + 1)); err != nil {
+			if err := checkpoint(s.snapshotState(sweep + 1)); err != nil {
 				return nil, fmt.Errorf("lda: checkpoint hook after sweep %d: %w", sweep+1, err)
 			}
 		}

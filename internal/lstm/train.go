@@ -9,6 +9,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 var (
@@ -252,6 +253,23 @@ func trainLoop(ctx context.Context, cfg Config, model *Model, opt optimizer, sta
 	gr := newGrads(model)
 
 	sp := obs.Start("lstm.train")
+	// Each epoch (and each checkpoint write) becomes a child span when ctx
+	// carries an active trace; spans never touch model state or the RNG
+	// stream, so traced and untraced runs are bit-identical.
+	traced := trace.FromContext(ctx) != nil
+	checkpoint := func(ck *Checkpoint) error {
+		var csp *trace.Span
+		if traced {
+			_, csp = trace.Start(ctx, "lstm.train.checkpoint")
+			csp.AttrInt("epoch", int64(ck.Epoch))
+		}
+		err := cfg.Checkpoint(ck)
+		if err != nil {
+			csp.Error(err)
+		}
+		csp.End()
+		return err
+	}
 	order := make([]int, len(train))
 	for i := range order {
 		order[i] = i
@@ -260,11 +278,16 @@ func trainLoop(ctx context.Context, cfg Config, model *Model, opt optimizer, sta
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			if cfg.Checkpoint != nil {
-				if cerr := cfg.Checkpoint(snapshotState(&cfg, model, opt, epoch, step, stats, g)); cerr != nil {
+				if cerr := checkpoint(snapshotState(&cfg, model, opt, epoch, step, stats, g)); cerr != nil {
 					return nil, stats, fmt.Errorf("lstm: writing cancellation checkpoint: %w", cerr)
 				}
 			}
 			return nil, stats, fmt.Errorf("lstm: training interrupted after epoch %d/%d: %w", epoch, cfg.Epochs, err)
+		}
+		var epsp *trace.Span
+		if traced {
+			_, epsp = trace.Start(ctx, "lstm.train.epoch")
+			epsp.AttrInt("epoch", int64(epoch))
 		}
 		var epochStart time.Time
 		if cfg.Progress != nil {
@@ -341,9 +364,10 @@ func trainLoop(ctx context.Context, cfg Config, model *Model, opt optimizer, sta
 				Loss: meanNLL, TokensPerSec: tps,
 			})
 		}
+		epsp.End()
 		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
 			(epoch+1)%cfg.CheckpointEvery == 0 && epoch+1 < cfg.Epochs {
-			if err := cfg.Checkpoint(snapshotState(&cfg, model, opt, epoch+1, step, stats, g)); err != nil {
+			if err := checkpoint(snapshotState(&cfg, model, opt, epoch+1, step, stats, g)); err != nil {
 				return nil, stats, fmt.Errorf("lstm: checkpoint hook at epoch %d: %w", epoch+1, err)
 			}
 		}

@@ -32,11 +32,19 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// Route is one extra handler mounted on the debug mux — how layers that sit
+// above obs (e.g. internal/trace's /debug/traces) join the -debug-addr
+// listener without obs depending on them.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // StartDebug binds addr and serves /metrics (Prometheus text), /metrics.json,
-// /debug/vars (expvar) and /debug/pprof/* in a background goroutine. Pass
-// an explicit port of 0 (e.g. "localhost:0") to pick a free port; Addr
-// reports the bound address.
-func StartDebug(addr string, r *Registry) (*DebugServer, error) {
+// /debug/vars (expvar), /debug/pprof/* and any extra routes in a background
+// goroutine. Pass an explicit port of 0 (e.g. "localhost:0") to pick a free
+// port; Addr reports the bound address.
+func StartDebug(addr string, r *Registry, extra ...Route) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/metrics.json", JSONHandler(r))
@@ -46,6 +54,9 @@ func StartDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -80,13 +91,13 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Init builds the CLI logger and, when -debug-addr was given, starts the
-// debug server on the default registry. The returned func stops the server;
-// call it before exiting.
-func (f *Flags) Init(name string) (*slog.Logger, func()) {
+// debug server on the default registry with any extra routes mounted. The
+// returned func stops the server; call it before exiting.
+func (f *Flags) Init(name string, extra ...Route) (*slog.Logger, func()) {
 	logger := NewCLILogger(os.Stderr, name, f.Verbose)
 	stop := func() {}
 	if f.DebugAddr != "" {
-		srv, err := StartDebug(f.DebugAddr, Default())
+		srv, err := StartDebug(f.DebugAddr, Default(), extra...)
 		if err != nil {
 			logger.Error("debug server failed to start: " + err.Error())
 			os.Exit(1)

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// failWriter returns a fixed error so Handle's error propagation is visible.
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestCLILoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewCLILogger(&buf, "x", false).Handler()
+	if h.Enabled(context.Background(), slog.LevelDebug) {
+		t.Fatal("debug enabled without verbose")
+	}
+	for _, l := range []slog.Level{slog.LevelInfo, slog.LevelWarn, slog.LevelError} {
+		if !h.Enabled(context.Background(), l) {
+			t.Fatalf("level %v disabled", l)
+		}
+	}
+	if !NewCLILogger(&buf, "x", true).Handler().Enabled(context.Background(), slog.LevelDebug) {
+		t.Fatal("debug disabled with verbose")
+	}
+}
+
+func TestCLILoggerNoPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	NewCLILogger(&buf, "", false).Info("bare")
+	if got := buf.String(); got != "bare\n" {
+		t.Fatalf("line %q, want %q", got, "bare\n")
+	}
+}
+
+func TestCLILoggerValueKinds(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewCLILogger(&buf, "k", false)
+	logger.Info("kinds",
+		"u", uint64(18446744073709551615),
+		"b", true,
+		"f", 0.125,
+		"neg", -42,
+		"d", 1500*time.Millisecond, // default kind, fmt.Sprint
+	)
+	got := buf.String()
+	want := "k: kinds u=18446744073709551615 b=true f=0.125 neg=-42 d=1.5s\n"
+	if got != want {
+		t.Fatalf("line %q, want %q", got, want)
+	}
+
+	buf.Reset()
+	logger.Info("floats", "nan", math.NaN(), "inf", math.Inf(1))
+	if got := buf.String(); got != "k: floats nan=NaN inf=+Inf\n" {
+		t.Fatalf("float specials %q", got)
+	}
+}
+
+func TestCLILoggerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewCLILogger(&buf, "q", false)
+	logger.Info("quoting",
+		"space", "a b",
+		"eq", "a=b",
+		"quote", `a"b`,
+		"ctl", "a\nb",
+		"plain", "a-b_c/d",
+	)
+	got := buf.String()
+	want := "q: quoting space=\"a b\" eq=\"a=b\" quote=\"a\\\"b\" ctl=\"a\\nb\" plain=a-b_c/d\n"
+	if got != want {
+		t.Fatalf("line %q, want %q", got, want)
+	}
+}
+
+func TestCLILoggerGroups(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewCLILogger(&buf, "g", false)
+
+	// Inline slog.Group values get dotted keys; an empty-key group inlines
+	// its members without a prefix (the slog convention).
+	logger.Info("grouped",
+		slog.Group("req", slog.String("path", "/v1/similar/3"), slog.Int("status", 200)),
+		slog.Group("", slog.String("flat", "yes")),
+	)
+	got := buf.String()
+	want := "g: grouped req.path=/v1/similar/3 req.status=200 flat=yes\n"
+	if got != want {
+		t.Fatalf("line %q, want %q", got, want)
+	}
+
+	// Nested WithGroup prefixes stack, and WithGroup("") is a no-op.
+	buf.Reset()
+	logger.WithGroup("a").WithGroup("").WithGroup("b").Info("deep", "k", 1)
+	if got, want := buf.String(), "g: deep a.b.k=1\n"; got != want {
+		t.Fatalf("nested groups %q, want %q", got, want)
+	}
+
+	// WithAttrs snapshots the current group; attrs added later on a derived
+	// logger must not retroactively change the earlier prefix.
+	buf.Reset()
+	base := NewCLILogger(&buf, "g", false).With("v", 1)
+	base.WithGroup("sub").Info("mix", "k", 2)
+	if got, want := buf.String(), "g: mix v=1 sub.k=2\n"; got != want {
+		t.Fatalf("with+group %q, want %q", got, want)
+	}
+}
+
+type valuer struct{}
+
+func (valuer) LogValue() slog.Value { return slog.StringValue("resolved") }
+
+func TestCLILoggerResolvesLogValuer(t *testing.T) {
+	var buf bytes.Buffer
+	NewCLILogger(&buf, "r", false).Info("v", "x", valuer{})
+	if got, want := buf.String(), "r: v x=resolved\n"; got != want {
+		t.Fatalf("LogValuer %q, want %q", got, want)
+	}
+}
+
+func TestCLILoggerWriteErrorPropagates(t *testing.T) {
+	boom := errors.New("disk full")
+	h := NewCLILogger(failWriter{err: boom}, "e", false).Handler()
+	var rec slog.Record
+	rec = slog.NewRecord(time.Time{}, slog.LevelInfo, "msg", 0)
+	if err := h.Handle(context.Background(), rec); !errors.Is(err, boom) {
+		t.Fatalf("Handle error = %v, want %v", err, boom)
+	}
+}
+
+func TestCLILoggerConcurrentLines(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewCLILogger(&buf, "c", false)
+	const lines = 64
+	var wg sync.WaitGroup
+	wg.Add(lines)
+	for i := 0; i < lines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			logger.Info("line", "i", i)
+		}(i)
+	}
+	wg.Wait()
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(got) != lines {
+		t.Fatalf("wrote %d lines, want %d", len(got), lines)
+	}
+	for _, line := range got {
+		if !strings.HasPrefix(line, "c: line i=") {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+}
+
+func TestSlogProgressAllFields(t *testing.T) {
+	var buf bytes.Buffer
+	p := SlogProgress(NewCLILogger(&buf, "train", false))
+	p(ProgressEvent{Model: "gru", Iteration: 1, Total: 14, Loss: 2.5, TokensPerSec: 1234.5})
+	got := buf.String()
+	want := "train: progress model=gru iter=1 total=14 loss=2.5 tokens_per_sec=1234.5\n"
+	if got != want {
+		t.Fatalf("progress line %q, want %q", got, want)
+	}
+
+	// NaN loss (e.g. an epoch with zero tokens) must not corrupt the line.
+	buf.Reset()
+	p(ProgressEvent{Model: "lstm", Iteration: 2, Total: 3, Loss: math.NaN(), TokensPerSec: math.Inf(1)})
+	if got := buf.String(); !strings.Contains(got, "loss=NaN") || !strings.Contains(got, "tokens_per_sec=+Inf") {
+		t.Fatalf("special-value progress line %q", got)
+	}
+}

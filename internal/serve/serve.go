@@ -34,7 +34,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Server-wide metrics. Per-endpoint series are created in newEndpointMetrics.
@@ -100,8 +104,17 @@ type Config struct {
 	// a fresh stream seeded here, so identical requests get identical
 	// representations regardless of interleaving. Default 1.
 	Seed int64
-	// Logger receives request-failure and reload lines. Default slog.Default().
+	// Logger receives access, slow-query, request-failure and reload lines.
+	// Default slog.Default().
 	Logger *slog.Logger
+	// Tracer records request-scoped span trees when enabled (trace.Default()
+	// when nil). Disabled tracing leaves every response and every serve/core
+	// metric exactly as before — spans take the nil fast path.
+	Tracer *trace.Tracer
+	// Quiet suppresses the per-request access-log lines for successful
+	// requests; failed requests (status >= 400) and slow queries are still
+	// logged.
+	Quiet bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Default()
+	}
 	return c
 }
 
@@ -136,21 +152,26 @@ type Loader func(ctx context.Context) (*core.Index, *lda.Model, error)
 
 // state is one immutable serving generation: queries load it once at entry
 // and keep using it even if a reload swaps the pointer mid-request, so hot
-// reloads never disturb in-flight work.
+// reloads never disturb in-flight work. gen numbers generations from 1 so
+// access logs and /healthz can attribute a response to the reload that
+// produced its index.
 type state struct {
 	ix    *core.Index
 	model *lda.Model
 	cache *lru
+	gen   uint64
 }
 
 // Server answers similarity, recommendation, white-space and inference
 // queries over an atomically swappable core.Index.
 type Server struct {
-	cfg  Config
-	load Loader
-	cur  atomic.Pointer[state]
-	sem  chan struct{}
-	mux  *http.ServeMux
+	cfg     Config
+	load    Loader
+	cur     atomic.Pointer[state]
+	sem     chan struct{}
+	mux     *http.ServeMux
+	started time.Time
+	gens    atomic.Uint64 // generation counter; the live state carries its value
 
 	mSimilar    endpointMetrics
 	mRecommend  endpointMetrics
@@ -170,27 +191,65 @@ func New(ix *core.Index, model *lda.Model, load Loader, cfg Config) (*Server, er
 	if err := checkState(ix, model); err != nil {
 		return nil, err
 	}
+	registerBuildInfo()
 	s := &Server{
 		cfg:         cfg,
 		load:        load,
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		started:     time.Now(),
 		mSimilar:    newEndpointMetrics("similar"),
 		mRecommend:  newEndpointMetrics("recommend"),
 		mWhitespace: newEndpointMetrics("whitespace"),
 		mInfer:      newEndpointMetrics("infer"),
 		mReload:     newEndpointMetrics("reload"),
 	}
-	s.cur.Store(&state{ix: ix, model: model, cache: newLRU(cfg.CacheSize)})
+	s.cur.Store(&state{ix: ix, model: model, cache: newLRU(cfg.CacheSize), gen: s.gens.Add(1)})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/similar/{id}", s.limited(&s.mSimilar, s.handleSimilar))
-	mux.HandleFunc("GET /v1/recommend/{id}", s.limited(&s.mRecommend, s.handleRecommend))
-	mux.HandleFunc("POST /v1/whitespace", s.limited(&s.mWhitespace, s.handleWhitespace))
-	mux.HandleFunc("POST /v1/infer", s.limited(&s.mInfer, s.handleInfer))
+	mux.HandleFunc("GET /v1/similar/{id}", s.limited("similar", &s.mSimilar, s.handleSimilar))
+	mux.HandleFunc("GET /v1/recommend/{id}", s.limited("recommend", &s.mRecommend, s.handleRecommend))
+	mux.HandleFunc("POST /v1/whitespace", s.limited("whitespace", &s.mWhitespace, s.handleWhitespace))
+	mux.HandleFunc("POST /v1/infer", s.limited("infer", &s.mInfer, s.handleInfer))
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	s.mux = mux
 	return s, nil
 }
+
+// buildInfo is resolved once: the Go toolchain, main-module version and VCS
+// revision baked into the binary, reported by /healthz and mirrored as the
+// ib_build_info gauge.
+type buildInfoJSON struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+}
+
+var readBuildInfo = sync.OnceValue(func() buildInfoJSON {
+	out := buildInfoJSON{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			out.Revision = kv.Value
+		}
+	}
+	return out
+})
+
+// registerBuildInfo publishes the constant-1 ib_build_info gauge whose help
+// string carries the build identity (the registry has no labels, so the
+// metadata rides in the metric help, Prometheus build_info style).
+var registerBuildInfo = sync.OnceFunc(func() {
+	bi := readBuildInfo()
+	obs.Default().Gauge("ib_build_info",
+		fmt.Sprintf("build info (constant 1): go_version=%s module=%s version=%s vcs_revision=%s",
+			bi.GoVersion, bi.Module, bi.Version, bi.Revision)).Set(1)
+})
 
 // checkState validates that a (index, model) pair can serve together: the
 // index rows must be the model's topic mixtures for /v1/infer to search
@@ -254,18 +313,45 @@ type handlerFunc func(ctx context.Context, st *state, r *http.Request) (response
 // limited wraps a query handler with the serving pipeline: per-request
 // deadline, bounded concurrency, state capture, disjoint served/error
 // accounting and response marshalling (plus cache fill for cacheable
-// responses).
-func (s *Server) limited(m *endpointMetrics, h handlerFunc) http.HandlerFunc {
+// responses). It is also the request-scoped observability shell: each request
+// runs under a "serve.<name>" root span — joining the caller's distributed
+// trace when a W3C traceparent header is presented, and echoing the assigned
+// IDs back in the response's traceparent header — and ends with one
+// structured access-log line plus a dedicated slow-query line when the
+// duration reaches the tracer's slow threshold.
+func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		ctx := r.Context()
+		var sp *trace.Span
+		if tp, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx, sp = s.cfg.Tracer.StartRemote(ctx, tp, "serve."+name)
+		} else {
+			ctx, sp = s.cfg.Tracer.Start(ctx, "serve."+name)
+		}
+		if sp.Active() {
+			sp.Attr("method", r.Method)
+			sp.Attr("path", r.URL.Path)
+			w.Header().Set("traceparent", trace.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+		}
+		status := http.StatusOK
+		defer func() {
+			sp.AttrInt("status", int64(status))
+			sp.End()
+			s.logRequest(r, name, status, time.Since(start), sp)
+		}()
+
+		ctx, cancel := context.WithTimeout(ctx, s.requestTimeout(r))
 		defer cancel()
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
 			throttled.Inc()
 			m.errors.Inc()
-			s.writeError(w, r, http.StatusServiceUnavailable, errors.New("serve: saturated, retry later"))
+			status = http.StatusServiceUnavailable
+			err := errors.New("serve: saturated, retry later")
+			sp.Error(err)
+			s.writeError(w, r, status, err)
 			return
 		}
 		defer func() { <-s.sem }()
@@ -276,14 +362,18 @@ func (s *Server) limited(m *endpointMetrics, h handlerFunc) http.HandlerFunc {
 		resp, err := h(ctx, st, r)
 		if err != nil {
 			m.errors.Inc()
-			s.writeError(w, r, statusFor(err), err)
+			status = statusFor(err)
+			sp.Error(err)
+			s.writeError(w, r, status, err)
 			return
 		}
 		body := resp.raw
 		if body == nil {
 			if body, err = json.Marshal(resp.value); err != nil {
 				m.errors.Inc()
-				s.writeError(w, r, http.StatusInternalServerError, err)
+				status = http.StatusInternalServerError
+				sp.Error(err)
+				s.writeError(w, r, status, err)
 				return
 			}
 			body = append(body, '\n')
@@ -295,6 +385,51 @@ func (s *Server) limited(m *endpointMetrics, h handlerFunc) http.HandlerFunc {
 		m.latency.Observe(time.Since(start).Seconds())
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
+	}
+}
+
+// requestTimeout returns the per-request deadline: cfg.Timeout, optionally
+// tightened by a timeout_ms query parameter. The parameter can only shrink
+// the deadline — it is capped at cfg.Timeout — so clients can bound their own
+// tail latency but never extend the server's.
+func (s *Server) requestTimeout(r *http.Request) time.Duration {
+	d := s.cfg.Timeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.ParseFloat(v, 64); err == nil && ms > 0 {
+			if t := time.Duration(ms * float64(time.Millisecond)); t < d {
+				d = t
+			}
+		}
+	}
+	return d
+}
+
+// logRequest emits one structured access-log line per request: endpoint,
+// method, path, status, duration, serving generation and — when traced — the
+// trace ID to paste into /debug/traces/{id}. Failures (status >= 400) log at
+// Warn and survive Quiet; successes log at Info unless Quiet. Requests at or
+// over the tracer's slow threshold additionally get a dedicated slow-query
+// line, which also survives Quiet.
+func (s *Server) logRequest(r *http.Request, name string, status int, dur time.Duration, sp *trace.Span) {
+	attrs := []any{
+		"endpoint", name,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"dur_ms", float64(dur.Microseconds()) / 1e3,
+		"gen", s.cur.Load().gen,
+	}
+	if sp.Active() {
+		attrs = append(attrs, "trace", sp.TraceID().String())
+	}
+	switch {
+	case status >= 400:
+		s.cfg.Logger.Warn("request", attrs...)
+	case !s.cfg.Quiet:
+		s.cfg.Logger.Info("request", attrs...)
+	}
+	if slow := s.cfg.Tracer.SlowThreshold(); slow > 0 && dur >= slow {
+		s.cfg.Logger.Warn("slow query", attrs...)
 	}
 }
 
@@ -441,28 +576,39 @@ type inferResponse struct {
 }
 
 type healthResponse struct {
-	Status    string `json:"status"`
-	Companies int    `json:"companies"`
-	Dim       int    `json:"dim"`
-	Topics    int    `json:"topics,omitempty"`
-	Cached    int    `json:"cached"`
+	Status     string        `json:"status"`
+	Companies  int           `json:"companies"`
+	Dim        int           `json:"dim"`
+	Topics     int           `json:"topics,omitempty"`
+	Vocab      int           `json:"vocab"`
+	Cached     int           `json:"cached"`
+	Generation uint64        `json:"generation"`
+	UptimeSec  float64       `json:"uptime_seconds"`
+	Tracing    bool          `json:"tracing"`
+	Build      buildInfoJSON `json:"build"`
 }
 
 type reloadResponse struct {
-	Companies   int  `json:"companies"`
-	Dim         int  `json:"dim"`
-	Topics      int  `json:"topics,omitempty"`
-	Invalidated int  `json:"invalidated"`
-	Reloaded    bool `json:"reloaded"`
+	Companies   int    `json:"companies"`
+	Dim         int    `json:"dim"`
+	Topics      int    `json:"topics,omitempty"`
+	Invalidated int    `json:"invalidated"`
+	Generation  uint64 `json:"generation"`
+	Reloaded    bool   `json:"reloaded"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.cur.Load()
 	resp := healthResponse{
-		Status:    "ok",
-		Companies: st.ix.Corpus.N(),
-		Dim:       st.ix.Reps.Cols,
-		Cached:    st.cache.len(),
+		Status:     "ok",
+		Companies:  st.ix.Corpus.N(),
+		Dim:        st.ix.Reps.Cols,
+		Vocab:      st.ix.Corpus.M(),
+		Cached:     st.cache.len(),
+		Generation: st.gen,
+		UptimeSec:  time.Since(s.started).Seconds(),
+		Tracing:    s.cfg.Tracer.Enabled(),
+		Build:      readBuildInfo(),
 	}
 	if st.model != nil {
 		resp.Topics = st.model.K
@@ -643,7 +789,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: reload rejected: %w", err))
 		return
 	}
-	old := s.cur.Swap(&state{ix: ix, model: model, cache: newLRU(s.cfg.CacheSize)})
+	next := &state{ix: ix, model: model, cache: newLRU(s.cfg.CacheSize), gen: s.gens.Add(1)}
+	old := s.cur.Swap(next)
 	reloadsTotal.Inc()
 	s.mReload.requests.Inc()
 	s.mReload.latency.Observe(time.Since(start).Seconds())
@@ -651,12 +798,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Companies:   ix.Corpus.N(),
 		Dim:         ix.Reps.Cols,
 		Invalidated: old.cache.len(),
+		Generation:  next.gen,
 		Reloaded:    true,
 	}
 	if model != nil {
 		resp.Topics = model.K
 	}
-	s.cfg.Logger.Info("model reloaded", "companies", resp.Companies, "dim", resp.Dim, "invalidated", resp.Invalidated)
+	s.cfg.Logger.Info("model reloaded", "companies", resp.Companies, "dim", resp.Dim,
+		"invalidated", resp.Invalidated, "gen", next.gen)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }

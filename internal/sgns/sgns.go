@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // Snapshot container kinds for SGNS artifacts.
@@ -228,6 +229,23 @@ func Resume(ctx context.Context, ck *Checkpoint, docs [][]int, hooks Config) (*M
 // trainLoop runs epochs startEpoch..Epochs-1 over the model in place.
 func trainLoop(ctx context.Context, cfg Config, m *Model, pairs [][2]int, noise []float64, startEpoch, startStep int, g *rng.RNG) (*Model, error) {
 	sp := obs.Start("sgns.train")
+	// Each epoch (and each checkpoint write) becomes a child span when ctx
+	// carries an active trace; spans never touch model state or the RNG
+	// stream, so traced and untraced runs are bit-identical.
+	traced := trace.FromContext(ctx) != nil
+	checkpoint := func(ck *Checkpoint) error {
+		var csp *trace.Span
+		if traced {
+			_, csp = trace.Start(ctx, "sgns.train.checkpoint")
+			csp.AttrInt("epoch", int64(ck.Epoch))
+		}
+		err := cfg.Checkpoint(ck)
+		if err != nil {
+			csp.Error(err)
+		}
+		csp.End()
+		return err
+	}
 	total := cfg.Epochs * len(pairs)
 	step := startStep
 	order := make([]int, len(pairs))
@@ -236,11 +254,16 @@ func trainLoop(ctx context.Context, cfg Config, m *Model, pairs [][2]int, noise 
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			if cfg.Checkpoint != nil {
-				if cerr := cfg.Checkpoint(snapshotState(&cfg, m, epoch, step, g)); cerr != nil {
+				if cerr := checkpoint(snapshotState(&cfg, m, epoch, step, g)); cerr != nil {
 					return nil, fmt.Errorf("sgns: writing cancellation checkpoint: %w", cerr)
 				}
 			}
 			return nil, fmt.Errorf("sgns: training interrupted after epoch %d/%d: %w", epoch, cfg.Epochs, err)
+		}
+		var epsp *trace.Span
+		if traced {
+			_, epsp = trace.Start(ctx, "sgns.train.epoch")
+			epsp.AttrInt("epoch", int64(epoch))
 		}
 		var epochStart time.Time
 		var epochLoss float64
@@ -308,9 +331,10 @@ func trainLoop(ctx context.Context, cfg Config, m *Model, pairs [][2]int, noise 
 				Loss: epochLoss / float64(len(pairs)), TokensPerSec: pps,
 			})
 		}
+		epsp.End()
 		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
 			(epoch+1)%cfg.CheckpointEvery == 0 && epoch+1 < cfg.Epochs {
-			if err := cfg.Checkpoint(snapshotState(&cfg, m, epoch+1, step, g)); err != nil {
+			if err := checkpoint(snapshotState(&cfg, m, epoch+1, step, g)); err != nil {
 				return nil, fmt.Errorf("sgns: checkpoint hook at epoch %d: %w", epoch+1, err)
 			}
 		}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent pins the parser's safety contract: arbitrary input —
+// malformed hex, wrong field counts, oversized garbage — must never panic,
+// and anything accepted must be a canonical version-00 header that survives
+// a format/re-parse round trip.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(validTP)
+	f.Add(validTP[:53] + "00")
+	f.Add("")
+	f.Add("00")
+	f.Add("00-")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01")
+	f.Add(strings.Repeat("-", 55))
+	f.Add(strings.Repeat("0", 55))
+	f.Add(strings.Repeat("a", 1<<12))
+	f.Add("\x00\xff-\x00" + validTP)
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, ok := ParseTraceparent(s)
+		if !ok {
+			return
+		}
+		// Accepted headers are exactly 55 chars of canonical shape.
+		if len(s) != 55 {
+			t.Fatalf("accepted %d-char input %q", len(s), s)
+		}
+		if tp.TraceID.IsZero() || tp.Parent.IsZero() {
+			t.Fatalf("accepted zero ID from %q", s)
+		}
+		// The hex fields must round-trip verbatim (lowercase canonical form).
+		if tp.TraceID.String() != s[3:35] {
+			t.Fatalf("trace ID %s does not round-trip %q", tp.TraceID, s)
+		}
+		if tp.Parent.String() != s[36:52] {
+			t.Fatalf("span ID %s does not round-trip %q", tp.Parent, s)
+		}
+		// Re-format and re-parse: IDs must be stable.
+		tp2, ok2 := ParseTraceparent(FormatTraceparent(tp.TraceID, tp.Parent))
+		if !ok2 || tp2.TraceID != tp.TraceID || tp2.Parent != tp.Parent {
+			t.Fatalf("format/re-parse unstable for %q", s)
+		}
+	})
+}
+
+// FuzzParseTraceID covers the /debug/traces/{id} path segment parser with
+// the same no-panic guarantee.
+func FuzzParseTraceID(f *testing.F) {
+	f.Add("0af7651916cd43dd8448eb211c80319c")
+	f.Add(strings.Repeat("0", 32))
+	f.Add("")
+	f.Add(strings.Repeat("g", 32))
+	f.Add(strings.Repeat("a", 1<<12))
+	f.Fuzz(func(t *testing.T, s string) {
+		id, ok := ParseTraceID(s)
+		if !ok {
+			return
+		}
+		if id.IsZero() || id.String() != s {
+			t.Fatalf("accepted ID does not round-trip: %q -> %s", s, id)
+		}
+	})
+}

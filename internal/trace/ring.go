@@ -1,0 +1,52 @@
+package trace
+
+import "sync/atomic"
+
+// ring is the bounded lock-free buffer of retained traces. Writers claim a
+// slot by incrementing head and store the trace with an atomic pointer
+// write, so concurrent request goroutines never serialize on a mutex; the
+// oldest trace in a slot is simply overwritten. Readers walk the slots
+// newest-first off a head snapshot — a reader racing a writer may see a
+// trace newer than its snapshot or miss one being overwritten, which is
+// acceptable for a debug view and keeps the hot path wait-free.
+type ring struct {
+	slots []atomic.Pointer[traceData]
+	head  atomic.Uint64 // total pushes ever; slot = (head-1) % len
+}
+
+func newRing(capacity int) *ring {
+	return &ring{slots: make([]atomic.Pointer[traceData], capacity)}
+}
+
+// push publishes a completed trace, overwriting the oldest slot when full.
+func (r *ring) push(td *traceData) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(td)
+}
+
+// snapshot returns the retained traces newest-first. The result is a fresh
+// slice; the traces themselves are immutable once published.
+func (r *ring) snapshot() []*traceData {
+	h := r.head.Load()
+	n := uint64(len(r.slots))
+	if h < n {
+		n = h
+	}
+	out := make([]*traceData, 0, n)
+	for j := uint64(0); j < n; j++ {
+		if td := r.slots[(h-1-j)%uint64(len(r.slots))].Load(); td != nil {
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// get returns the retained trace with the given ID, or nil.
+func (r *ring) get(id TraceID) *traceData {
+	for _, td := range r.snapshot() {
+		if td.id == id {
+			return td
+		}
+	}
+	return nil
+}
