@@ -384,6 +384,51 @@ func BenchmarkObsHistogramObserve(b *testing.B) {
 	})
 }
 
+// BenchmarkObsWindowedObserve measures one observation into a rolling-window
+// histogram — the per-request cost of the serving SLO layer. Must be
+// zero-alloc: it sits on every request path when -slo is on.
+func BenchmarkObsWindowedObserve(b *testing.B) {
+	w := obs.NewRegistry().WindowedHistogram("bench_window_seconds", "", nil, 6)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0
+		for pb.Next() {
+			w.Observe(v)
+			v += 1e-5
+			if v > 10 {
+				v = 0
+			}
+		}
+	})
+}
+
+// BenchmarkObsWindowedRotate measures a window tick: clearing the next
+// window and publishing it. Runs once per rotation interval, not per
+// request, so absolute cost matters less than Observe's — but it must not
+// allocate either.
+func BenchmarkObsWindowedRotate(b *testing.B) {
+	w := obs.NewRegistry().WindowedHistogram("bench_rotate_seconds", "", nil, 6)
+	for i := 0; i < 1000; i++ {
+		w.Observe(float64(i) * 1e-3)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Rotate()
+	}
+}
+
+// BenchmarkObsHistogramObserveExemplar measures an observation that also
+// stores a trace exemplar — the traced-request variant of the latency
+// histogram path.
+func BenchmarkObsHistogramObserveExemplar(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_ex_seconds", "", nil)
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(1e-3, tid)
+	}
+}
+
 // BenchmarkObsSpanDisabled measures the fast path instrumentation takes when
 // span capture is switched off: Start must not allocate and End must be a
 // nil-check only.

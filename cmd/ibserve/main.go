@@ -31,9 +31,14 @@
 // (error and slow traces always kept, the rest at -trace-sample) and serves
 // them as /debug/traces and /debug/traces/{id} on the same listener; requests
 // presenting a W3C traceparent header join the caller's trace and get the
-// assigned IDs echoed back. Every request emits one structured access-log
-// line (-quiet keeps only failures and slow queries). SIGINT/SIGTERM drains
-// connections gracefully before exiting.
+// assigned IDs echoed back. -slo tracks rolling-window SLOs (per-endpoint
+// latency quantiles, error budget and burn rate against the -slo-availability
+// and -slo-latency objectives) served as GET /debug/slo and summarized in
+// /healthz; -runtime-metrics samples Go runtime health (go_* series) into
+// /metrics. Every request emits one structured access-log line (-quiet keeps
+// only failures and slow queries). SIGINT/SIGTERM drains connections
+// gracefully before exiting. Use cmd/ibload to replay a realistic query mix
+// against a running ibserve and measure client-side latency.
 package main
 
 import (
@@ -110,6 +115,14 @@ func main() {
 		cacheSize = flag.Int("cache-size", 256, "LRU response cache entries (negative disables)")
 		grace     = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
 		quiet     = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
+
+		sloOn     = flag.Bool("slo", false, "track rolling-window SLOs per endpoint and serve GET /debug/slo on -debug-addr")
+		sloWindow = flag.Duration("slo-window", serve.DefaultSLOWindow, "rolling SLO evaluation window")
+		sloAvail  = flag.Float64("slo-availability", serve.DefaultSLOAvailability, "availability objective (fraction of requests without a server error)")
+		sloLat    = flag.String("slo-latency", "", `per-endpoint p99 latency objectives, e.g. "default=100ms,similar=50ms"`)
+
+		runtimeMetrics  = flag.Bool("runtime-metrics", false, "sample Go runtime health (go_* gauges, GC pauses) into /metrics")
+		runtimeInterval = flag.Duration("runtime-interval", 10*time.Second, "runtime sampler interval (each sample briefly stops the world)")
 	)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel index scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
@@ -119,15 +132,9 @@ func main() {
 	traceFlags.Apply(trace.Default())
 
 	logger = obs.NewCLILogger(os.Stderr, "ibserve", obsFlags.Verbose)
-	if obsFlags.DebugAddr != "" {
-		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default(), trace.Routes(trace.Default())...)
-		if err != nil {
-			fatal(err)
-		}
-		defer dbg.Close()
-		// Announce on stdout so scripts and tests can scrape the bound port.
-		fmt.Printf("debug on %s\n", dbg.Addr())
-		logger.Info("debug server listening", "addr", dbg.Addr())
+	if *runtimeMetrics {
+		stopSampler := obs.StartRuntimeSampler(obs.Default(), *runtimeInterval)
+		defer stopSampler()
 	}
 
 	ix, model, err := buildState(*corpusPath, *modelPath, *seed)
@@ -136,9 +143,7 @@ func main() {
 	}
 	logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K)
 
-	srv, err := serve.New(ix, model, func(context.Context) (*core.Index, *lda.Model, error) {
-		return buildState(*corpusPath, *modelPath, *seed)
-	}, serve.Config{
+	cfg := serve.Config{
 		DefaultK:      *defaultK,
 		DefaultPeers:  *peers,
 		MaxConcurrent: *maxConc,
@@ -147,9 +152,38 @@ func main() {
 		Seed:          *seed,
 		Logger:        logger,
 		Quiet:         *quiet,
-	})
+	}
+	if *sloOn {
+		objectives, err := serve.ParseLatencyObjectives(*sloLat)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SLO = &serve.SLOConfig{
+			Window:       *sloWindow,
+			Availability: *sloAvail,
+			Latency:      objectives,
+		}
+	}
+	srv, err := serve.New(ix, model, func(context.Context) (*core.Index, *lda.Model, error) {
+		return buildState(*corpusPath, *modelPath, *seed)
+	}, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	defer srv.Close()
+
+	// The debug listener starts after the server is built so /debug/slo can
+	// mount alongside /debug/traces on the same mux.
+	if obsFlags.DebugAddr != "" {
+		routes := append(trace.Routes(trace.Default()), srv.SLORoutes()...)
+		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default(), routes...)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		// Announce on stdout so scripts and tests can scrape the bound port.
+		fmt.Printf("debug on %s\n", dbg.Addr())
+		logger.Info("debug server listening", "addr", dbg.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// sample is one completed request as the client observed it.
+type sample struct {
+	endpoint string
+	latency  time.Duration
+	status   int
+	failed   bool // transport error or status >= 400
+	traceID  string
+	warmup   bool
+}
+
+// send issues one request and drains the response. The returned status is 0
+// on a transport error.
+func send(client *http.Client, cfg Config, req Request) (int, bool) {
+	var body io.Reader
+	if req.Body != nil {
+		body = bytes.NewReader(req.Body)
+	}
+	hr, err := http.NewRequest(req.Method, cfg.BaseURL+req.Path, body)
+	if err != nil {
+		return 0, true
+	}
+	if req.Body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	if cfg.Trace {
+		hr.Header.Set("traceparent", req.Traceparent)
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return 0, true
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.StatusCode >= 400
+}
+
+// Run replays the generator's stream against cfg.BaseURL and reports
+// client-side latency statistics per endpoint. ctx cancellation stops the
+// run early; whatever completed before the cancel is still reported.
+func Run(ctx context.Context, gen *Generator, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			// The replay is the only client; let every worker keep its
+			// connection so we measure the server, not handshakes.
+			MaxIdleConnsPerHost: cfg.Concurrency + 4,
+		},
+	}
+	var samples []sample
+	var measured time.Duration
+	if cfg.OpenLoop {
+		samples, measured = runOpen(ctx, gen, cfg, client)
+	} else {
+		samples, measured = runClosed(ctx, gen, cfg, client)
+	}
+	return buildReport(cfg, samples, measured), nil
+}
+
+// runOpen is the fixed-arrival-rate driver. Request i is scheduled at
+// start + i/rate; its latency is measured from that scheduled instant, so
+// time spent queueing behind the in-flight cap (because the server fell
+// behind) is charged to the server — the coordinated-omission correction.
+func runOpen(ctx context.Context, gen *Generator, cfg Config, client *http.Client) ([]sample, time.Duration) {
+	span := cfg.Warmup + cfg.Duration
+	total := int(cfg.Rate * span.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	samples := make([]sample, total)
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	sent := total
+	for i := 0; i < total; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			sent = i
+			break
+		}
+		req := gen.Next() // dispatch order keeps the stream deterministic
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, req Request, sched time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			status, failed := send(client, cfg, req)
+			samples[i] = sample{
+				endpoint: req.Endpoint,
+				latency:  time.Since(sched), // from *scheduled* departure
+				status:   status,
+				failed:   failed,
+				traceID:  req.TraceID,
+				warmup:   sched.Sub(start) < cfg.Warmup,
+			}
+		}(i, req, sched)
+	}
+	wg.Wait()
+	measured := time.Since(start) - cfg.Warmup
+	if measured <= 0 {
+		measured = time.Since(start)
+	}
+	return samples[:sent], measured
+}
+
+// runClosed is the fixed-concurrency driver: cfg.Concurrency workers issue
+// requests back to back until the deadline, each measuring pure service time.
+func runClosed(ctx context.Context, gen *Generator, cfg Config, client *http.Client) ([]sample, time.Duration) {
+	start := time.Now()
+	deadline := start.Add(cfg.Warmup + cfg.Duration)
+	perWorker := make([][]sample, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		g := gen.Split()
+		wg.Add(1)
+		go func(w int, g *Generator) {
+			defer wg.Done()
+			var out []sample
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				req := g.Next()
+				sent := time.Now()
+				status, failed := send(client, cfg, req)
+				out = append(out, sample{
+					endpoint: req.Endpoint,
+					latency:  time.Since(sent),
+					status:   status,
+					failed:   failed,
+					traceID:  req.TraceID,
+					warmup:   sent.Sub(start) < cfg.Warmup,
+				})
+			}
+			perWorker[w] = out
+		}(w, g)
+	}
+	wg.Wait()
+	var samples []sample
+	for _, out := range perWorker {
+		samples = append(samples, out...)
+	}
+	measured := time.Since(start) - cfg.Warmup
+	if measured <= 0 {
+		measured = time.Since(start)
+	}
+	return samples, measured
+}

@@ -1,0 +1,238 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Request is one generated query, ready to send: a relative URL (path +
+// query), an optional JSON body, and a pre-generated traceparent so the
+// request stream is identical whether or not the driver sends the header.
+type Request struct {
+	Endpoint    string // similar | recommend | whitespace | infer
+	Method      string
+	Path        string
+	Body        []byte
+	TraceID     string // 32-char hex, the ID inside Traceparent
+	Traceparent string
+}
+
+// GenConfig parameterizes the query generator. Zero values select defaults.
+type GenConfig struct {
+	// Seed drives every random choice; identical (corpus, GenConfig) pairs
+	// generate identical streams.
+	Seed int64
+	// Mix weights the endpoints (zero selects DefaultMix).
+	Mix Mix
+	// ZipfSkew is the s parameter of the company-popularity distribution:
+	// 0 is uniform, larger concentrates traffic on few hot companies the
+	// way a sales team hammers its current prospects. Default 1.1.
+	ZipfSkew float64
+	// FilterProb is the probability a query carries a business filter
+	// (country or sic2 drawn from the corpus's real values). Default 0.25;
+	// negative disables filters.
+	FilterProb float64
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Mix.isZero() {
+		g.Mix = DefaultMix
+	}
+	if g.ZipfSkew == 0 {
+		g.ZipfSkew = 1.1
+	}
+	if g.FilterProb == 0 {
+		g.FilterProb = 0.25
+	}
+	if g.FilterProb < 0 {
+		g.FilterProb = 0
+	}
+	return g
+}
+
+// Generator synthesizes the query stream. Not safe for concurrent use; the
+// open-loop driver generates in dispatch order, and closed-loop workers each
+// own a Generator split from the run seed.
+type Generator struct {
+	g         *rng.RNG
+	ids       []int      // popularity rank -> company id
+	company   func() int // zipf sampler over ranks
+	vocab     int
+	countries []string
+	sic2s     []int
+	weights   []float64
+	endpoints []string
+	filterP   float64
+	skew      float64
+}
+
+// NewGenerator builds a generator over the corpus the target server loaded.
+// Filter values (countries, SIC2 codes) are the corpus's real distinct
+// values, collected in sorted order so the stream never depends on map
+// iteration.
+func NewGenerator(c *corpus.Corpus, cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	g := rng.New(cfg.Seed)
+	n := c.N()
+
+	countrySet := map[string]bool{}
+	sic2Set := map[int]bool{}
+	for _, co := range c.Companies {
+		if co.Country != "" {
+			countrySet[co.Country] = true
+		}
+		if co.SIC2 != 0 {
+			sic2Set[co.SIC2] = true
+		}
+	}
+	countries := make([]string, 0, len(countrySet))
+	for v := range countrySet {
+		countries = append(countries, v)
+	}
+	sort.Strings(countries)
+	sic2s := make([]int, 0, len(sic2Set))
+	for v := range sic2Set {
+		sic2s = append(sic2s, v)
+	}
+	sort.Ints(sic2s)
+
+	gen := &Generator{
+		g:         g,
+		ids:       g.Perm(n), // decouple popularity rank from id order
+		company:   g.Zipf(n, cfg.ZipfSkew),
+		vocab:     c.M(),
+		countries: countries,
+		sic2s:     sic2s,
+		filterP:   cfg.FilterProb,
+		skew:      cfg.ZipfSkew,
+	}
+	for _, e := range []struct {
+		name   string
+		weight float64
+	}{
+		{"similar", cfg.Mix.Similar},
+		{"recommend", cfg.Mix.Recommend},
+		{"whitespace", cfg.Mix.Whitespace},
+		{"infer", cfg.Mix.Infer},
+	} {
+		if e.weight > 0 {
+			gen.endpoints = append(gen.endpoints, e.name)
+			gen.weights = append(gen.weights, e.weight)
+		}
+	}
+	if len(gen.endpoints) == 0 {
+		gen.endpoints = []string{"similar"}
+		gen.weights = []float64{1}
+	}
+	return gen
+}
+
+// Split returns an independent generator whose stream is derived from, but
+// uncorrelated with, this one — one per closed-loop worker. The split shares
+// the popularity rank permutation (workers hammer the same hot companies)
+// while drawing from its own RNG stream.
+func (q *Generator) Split() *Generator {
+	cp := *q
+	cp.g = q.g.Split()
+	cp.company = cp.g.Zipf(len(q.ids), q.skew)
+	return &cp
+}
+
+// filterQuery returns a query-string fragment ("" most of the time) with a
+// real country or SIC2 filter.
+func (q *Generator) filterQuery() string {
+	if !q.g.Bernoulli(q.filterP) {
+		return ""
+	}
+	if len(q.countries) > 0 && (len(q.sic2s) == 0 || q.g.Bernoulli(0.5)) {
+		return "&country=" + q.countries[q.g.Intn(len(q.countries))]
+	}
+	if len(q.sic2s) > 0 {
+		return fmt.Sprintf("&sic2=%d", q.sic2s[q.g.Intn(len(q.sic2s))])
+	}
+	return ""
+}
+
+// filterBody returns the "filter" object for POST bodies, or nil.
+func (q *Generator) filterBody() map[string]any {
+	if !q.g.Bernoulli(q.filterP) {
+		return nil
+	}
+	if len(q.countries) > 0 && (len(q.sic2s) == 0 || q.g.Bernoulli(0.5)) {
+		return map[string]any{"country": q.countries[q.g.Intn(len(q.countries))]}
+	}
+	if len(q.sic2s) > 0 {
+		return map[string]any{"sic2": q.sic2s[q.g.Intn(len(q.sic2s))]}
+	}
+	return nil
+}
+
+var kChoices = []int{5, 10, 25}
+
+// Next generates one request. The traceparent is drawn from the same stream
+// as the query parameters, so toggling header propagation never shifts the
+// mix.
+func (q *Generator) Next() Request {
+	var tid trace.TraceID
+	for i := range tid {
+		tid[i] = byte(q.g.Intn(256))
+	}
+	tid[15] |= 1 // all-zero IDs are invalid per the W3C grammar
+	var sid trace.SpanID
+	for i := range sid {
+		sid[i] = byte(q.g.Intn(256))
+	}
+	sid[7] |= 1
+
+	req := Request{
+		Endpoint:    q.endpoints[q.g.Categorical(q.weights)],
+		Method:      "GET",
+		TraceID:     tid.String(),
+		Traceparent: trace.FormatTraceparent(tid, sid),
+	}
+	id := q.ids[q.company()]
+	k := kChoices[q.g.Intn(len(kChoices))]
+	switch req.Endpoint {
+	case "similar":
+		req.Path = fmt.Sprintf("/v1/similar/%d?k=%d%s", id, k, q.filterQuery())
+	case "recommend":
+		peers := 5 * (1 + q.g.Intn(5)) // 5..25
+		req.Path = fmt.Sprintf("/v1/recommend/%d?peers=%d%s", id, peers, q.filterQuery())
+	case "whitespace":
+		clients := make([]int, 2+q.g.Intn(4))
+		for i := range clients {
+			clients[i] = q.ids[q.company()]
+		}
+		req.Method = "POST"
+		req.Path = "/v1/whitespace"
+		req.Body = marshalBody(map[string]any{"clients": clients, "k": k}, q.filterBody())
+	case "infer":
+		owned := make([]int, 1+q.g.Intn(4))
+		for i := range owned {
+			owned[i] = q.g.Intn(q.vocab)
+		}
+		req.Method = "POST"
+		req.Path = "/v1/infer"
+		req.Body = marshalBody(map[string]any{"owned": owned, "k": k}, q.filterBody())
+	}
+	return req
+}
+
+// marshalBody renders a POST body with an optional filter object. Top-level
+// keys are marshalled through a struct-free map; encoding/json sorts map keys,
+// so the bytes are deterministic.
+func marshalBody(fields map[string]any, filter map[string]any) []byte {
+	if filter != nil {
+		fields["filter"] = filter
+	}
+	raw, err := json.Marshal(fields)
+	if err != nil {
+		panic("load: marshalling generated body: " + err.Error()) // unreachable: plain maps and ints
+	}
+	return raw
+}

@@ -1,0 +1,156 @@
+package load
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// EndpointStats is the client-observed result for one endpoint (or the
+// whole run, in Report.Total). Latencies are milliseconds; quantiles are
+// exact order statistics over the measured samples, not bucket estimates.
+type EndpointStats struct {
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"` // transport failures + status >= 400
+	ErrorRate float64 `json:"error_rate"`
+	QPS       float64 `json:"qps"`
+	MeanMS    float64 `json:"mean_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	// SlowestTraceID names the trace of the worst measured request — paste
+	// into /debug/traces/{id} on the server's -debug-addr listener. Present
+	// only when the run propagated traceparent headers.
+	SlowestTraceID string `json:"slowest_trace_id,omitempty"`
+}
+
+// Report is the BENCH_serve.json shape.
+type Report struct {
+	Benchmark string `json:"benchmark"`
+	Mode      string `json:"mode"` // open | closed
+	// TargetQPS is the open-loop arrival rate (0 in closed loop); compare
+	// with Total.QPS to see whether the server kept up.
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	// CoordinatedOmissionCorrected records that open-loop latencies are
+	// measured from scheduled departure, not actual send.
+	CoordinatedOmissionCorrected bool                     `json:"coordinated_omission_corrected"`
+	WarmupSec                    float64                  `json:"warmup_seconds"`
+	MeasuredSec                  float64                  `json:"measured_seconds"`
+	WarmupRequests               int                      `json:"warmup_requests"`
+	Total                        EndpointStats            `json:"total"`
+	Endpoints                    map[string]EndpointStats `json:"endpoints"`
+}
+
+// quantileMS returns the q-quantile of sorted latencies in milliseconds
+// (nearest-rank with interpolation-free indexing; exact for the sample set).
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func buildStats(samples []sample, measured time.Duration, withTrace bool) EndpointStats {
+	st := EndpointStats{Requests: len(samples)}
+	if len(samples) == 0 {
+		return st
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	var sum time.Duration
+	var slowest sample
+	for _, s := range samples {
+		if s.failed {
+			st.Errors++
+		}
+		lats = append(lats, s.latency)
+		sum += s.latency
+		if s.latency >= slowest.latency {
+			slowest = s
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.ErrorRate = float64(st.Errors) / float64(len(samples))
+	if sec := measured.Seconds(); sec > 0 {
+		st.QPS = float64(len(samples)) / sec
+	}
+	st.MeanMS = float64(sum) / float64(len(samples)) / float64(time.Millisecond)
+	st.P50MS = quantileMS(lats, 0.50)
+	st.P90MS = quantileMS(lats, 0.90)
+	st.P99MS = quantileMS(lats, 0.99)
+	st.P999MS = quantileMS(lats, 0.999)
+	st.MaxMS = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	if withTrace {
+		st.SlowestTraceID = slowest.traceID
+	}
+	return st
+}
+
+func buildReport(cfg Config, samples []sample, measured time.Duration) *Report {
+	mode := "closed"
+	if cfg.OpenLoop {
+		mode = "open"
+	}
+	r := &Report{
+		Benchmark:                    "ibload replay against live ibserve: client-observed latency per endpoint",
+		Mode:                         mode,
+		Concurrency:                  cfg.Concurrency,
+		CoordinatedOmissionCorrected: cfg.OpenLoop,
+		WarmupSec:                    cfg.Warmup.Seconds(),
+		MeasuredSec:                  measured.Seconds(),
+		Endpoints:                    map[string]EndpointStats{},
+	}
+	if cfg.OpenLoop {
+		r.TargetQPS = cfg.Rate
+	}
+	kept := make([]sample, 0, len(samples))
+	byEndpoint := map[string][]sample{}
+	for _, s := range samples {
+		if s.warmup {
+			r.WarmupRequests++
+			continue
+		}
+		kept = append(kept, s)
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+	}
+	r.Total = buildStats(kept, measured, cfg.Trace)
+	for name, group := range byEndpoint {
+		r.Endpoints[name] = buildStats(group, measured, cfg.Trace)
+	}
+	return r
+}
+
+// WriteFile writes the report as indented JSON, atomically (temp file, fsync,
+// rename — the repo's crash-safe write discipline for BENCH_*.json).
+func (r *Report) WriteFile(path string) (err error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(append(raw, '\n')); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

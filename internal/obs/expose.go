@@ -49,13 +49,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case e.h != nil:
 			fmt.Fprintf(bw, "# TYPE %s histogram\n", e.name)
 			counts := e.h.snapshotCounts()
+			exemplars := e.h.snapshotExemplars()
 			var cum uint64
 			for i, b := range e.h.bounds {
 				cum += counts[i]
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, formatFloat(b), cum)
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d", e.name, formatFloat(b), cum)
+				writeExemplar(bw, exemplars[i])
+				bw.WriteByte('\n')
 			}
 			cum += counts[len(counts)-1]
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d", e.name, cum)
+			writeExemplar(bw, exemplars[len(exemplars)-1])
+			bw.WriteByte('\n')
 			fmt.Fprintf(bw, "%s_sum %s\n", e.name, formatFloat(e.h.Sum()))
 			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.h.Count())
 		}
@@ -64,6 +69,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeExemplar appends an OpenMetrics exemplar annotation to a bucket line:
+// `... 42 # {trace_id="<id>"} <value> <unix-ts>`. Buckets with no traced
+// observation get no annotation, so output with tracing off is byte-identical
+// to the pre-exemplar format.
+func writeExemplar(bw *bufio.Writer, ex *Exemplar) {
+	if ex == nil {
+		return
+	}
+	fmt.Fprintf(bw, " # {trace_id=%q} %s %s",
+		ex.TraceID, formatFloat(ex.Value), strconv.FormatFloat(ex.UnixSec, 'f', 3, 64))
+}
 
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
@@ -79,6 +96,24 @@ type HistogramSnapshot struct {
 	P50    float64   `json:"p50"`
 	P90    float64   `json:"p90"`
 	P99    float64   `json:"p99"`
+	// Exemplars maps a bucket's upper bound (formatted like the Prometheus
+	// le label, "+Inf" for the overflow bucket) to the most recent traced
+	// observation that landed in it. Omitted entirely when no traced
+	// observation has been recorded, keeping pre-exemplar snapshots
+	// byte-identical.
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
+}
+
+// WindowSnapshot is the JSON-friendly view of one windowed histogram: counts
+// and quantiles over the sliding window only.
+type WindowSnapshot struct {
+	Windows int     `json:"windows"` // ring size K
+	Count   uint64  `json:"count"`
+	Sum     float64 `json:"sum"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	P999    float64 `json:"p999"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.
@@ -86,6 +121,7 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
 }
 
 // Snapshot copies the current value of every metric.
@@ -108,6 +144,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	windows := make(map[string]*WindowedHistogram, len(r.windows))
+	for k, v := range r.windows {
+		windows[k] = v
+	}
 	r.mu.RUnlock()
 	for name, c := range counters {
 		s.Counters[name] = c.Value()
@@ -116,7 +156,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range hists {
-		s.Histograms[name] = HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Count:  h.Count(),
 			Sum:    h.Sum(),
 			Bounds: append([]float64(nil), h.bounds...),
@@ -124,6 +164,34 @@ func (r *Registry) Snapshot() Snapshot {
 			P50:    h.Quantile(0.50),
 			P90:    h.Quantile(0.90),
 			P99:    h.Quantile(0.99),
+		}
+		for i, ex := range h.snapshotExemplars() {
+			if ex == nil {
+				continue
+			}
+			if hs.Exemplars == nil {
+				hs.Exemplars = make(map[string]Exemplar)
+			}
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			hs.Exemplars[le] = *ex
+		}
+		s.Histograms[name] = hs
+	}
+	for name, w := range windows {
+		if s.Windows == nil {
+			s.Windows = make(map[string]WindowSnapshot)
+		}
+		s.Windows[name] = WindowSnapshot{
+			Windows: w.Windows(),
+			Count:   w.Count(),
+			Sum:     w.Sum(),
+			P50:     w.Quantile(0.50),
+			P90:     w.Quantile(0.90),
+			P99:     w.Quantile(0.99),
+			P999:    w.Quantile(0.999),
 		}
 	}
 	return s

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency buckets (seconds), spanning a
@@ -20,11 +21,26 @@ var SizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000
 
 // Histogram is a fixed-bucket histogram with lock-free observation. Bucket
 // counts are non-cumulative internally and cumulated at exposition time.
+// Each bucket can additionally carry one exemplar — the most recent traced
+// observation that landed in it (see ObserveExemplar) — linking the
+// aggregate distribution back to a concrete /debug/traces/{id} tree.
 type Histogram struct {
-	bounds []float64 // strictly increasing upper bounds (le); +Inf implicit
-	counts []atomic.Uint64
-	count  atomic.Uint64
-	sum    atomicFloat
+	bounds    []float64 // strictly increasing upper bounds (le); +Inf implicit
+	counts    []atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // per bucket; nil until a traced observation lands
+	count     atomic.Uint64
+	sum       atomicFloat
+}
+
+// Exemplar is one traced observation retained at bucket level: the trace ID
+// of the request that produced it, the observed value, and the wall-clock
+// time it was recorded. Exposed in OpenMetrics "# {trace_id=...}" syntax on
+// /metrics and in the JSON snapshot, it answers "show me one real request
+// behind this bucket".
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+	UnixSec float64 `json:"unix_sec"`
 }
 
 // atomicFloat is a float64 updated by CAS on its bit pattern.
@@ -56,7 +72,11 @@ func newHistogram(buckets []float64) *Histogram {
 		}
 	}
 	bounds := append([]float64(nil), buckets...)
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -65,6 +85,25 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and retains (traceID, v, now) as the
+// bucket's exemplar, replacing any previous one. Unlike Observe this
+// allocates (the exemplar cell), so call sites use it only for traced
+// requests — untraced traffic takes the allocation-free Observe path and the
+// exposition output stays byte-identical when tracing is off.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{
+			TraceID: traceID,
+			Value:   v,
+			UnixSec: float64(time.Now().UnixNano()) / 1e9,
+		})
+	}
 }
 
 // Count returns the number of observations.
@@ -77,7 +116,16 @@ func (h *Histogram) Sum() float64 { return h.sum.Value() }
 // within the bucket holding the target rank. Values beyond the last finite
 // bound are reported as that bound; an empty histogram reports 0.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	return quantileFromCounts(h.bounds, h.snapshotCounts(), h.count.Load(), q)
+}
+
+// quantileFromCounts is the shared quantile scan of Histogram and
+// WindowedHistogram: counts are per-bucket (non-cumulative) with the +Inf
+// bucket last. Empty buckets are skipped, so q=0 reports the lower edge of
+// the first *non-empty* bucket rather than the first bucket's upper bound —
+// a histogram whose entire mass sits in (0.25, 0.5] answers Quantile(0) with
+// 0.25, not 1e-6.
+func quantileFromCounts(bounds []float64, counts []uint64, total uint64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
@@ -90,15 +138,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	target := q * float64(total)
 	var cum float64
 	lo := 0.0
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
-		hi := h.bounds[len(h.bounds)-1] // +Inf bucket clamps to last bound
-		if i < len(h.bounds) {
-			hi = h.bounds[i]
+	for i, c := range counts {
+		n := float64(c)
+		hi := bounds[len(bounds)-1] // +Inf bucket clamps to last bound
+		if i < len(bounds) {
+			hi = bounds[i]
 		}
-		if cum+n >= target {
-			if n == 0 || i >= len(h.bounds) {
+		if n > 0 && cum+n >= target {
+			if i >= len(bounds) {
 				return hi
+			}
+			if target <= cum {
+				// q=0 (or an exact bucket boundary): the target rank sits at
+				// the bucket's lower edge; interpolating would overshoot.
+				return lo
 			}
 			return lo + (hi-lo)*(target-cum)/n
 		}
@@ -114,6 +167,16 @@ func (h *Histogram) snapshotCounts() []uint64 {
 	out := make([]uint64, len(h.counts))
 	for i := range h.counts {
 		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// snapshotExemplars returns the per-bucket exemplars (nil where no traced
+// observation has landed); the last entry is the +Inf bucket.
+func (h *Histogram) snapshotExemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
 	}
 	return out
 }

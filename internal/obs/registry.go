@@ -64,6 +64,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]*WindowedHistogram
 	help     map[string]string
 }
 
@@ -73,6 +74,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		windows:  make(map[string]*WindowedHistogram),
 		help:     make(map[string]string),
 	}
 	r.spansOn.Store(true)

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets span the realistic stop-the-world pause range: 10us to
+// 500ms. Sub-bucket resolution matters here because a GC pause sits directly
+// on the serving tail — a 5ms pause is invisible in a p50 but is the p999.
+var GCPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+}
+
+// StartRuntimeSampler starts a goroutine that samples Go runtime health into
+// r every interval (interval <= 0 selects 10s) as the go_* series:
+//
+//	go_goroutines            gauge      live goroutines
+//	go_heap_inuse_bytes      gauge      bytes in in-use heap spans
+//	go_heap_alloc_bytes      gauge      bytes of live allocated heap objects
+//	go_sys_bytes             gauge      total bytes obtained from the OS
+//	go_gc_runs_total         counter    completed GC cycles since sampling began
+//	go_gc_pause_seconds      histogram  stop-the-world pause durations
+//	go_uptime_seconds        gauge      seconds since the sampler started
+//
+// The returned stop function is idempotent. Nothing is registered until the
+// first call, so binaries that never start the sampler expose a byte-identical
+// /metrics — the disabled-path discipline the serving invariance tests pin.
+//
+// The cost of one sample is one runtime.ReadMemStats (a brief
+// stop-the-world), so intervals below ~1s are only for tests.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	goroutines := r.Gauge("go_goroutines", "live goroutines")
+	heapInuse := r.Gauge("go_heap_inuse_bytes", "bytes in in-use heap spans")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "bytes of live allocated heap objects")
+	sysBytes := r.Gauge("go_sys_bytes", "total bytes of virtual address space obtained from the OS")
+	gcRuns := r.Counter("go_gc_runs_total", "completed GC cycles observed by the runtime sampler")
+	gcPause := r.Histogram("go_gc_pause_seconds", "stop-the-world GC pause durations", GCPauseBuckets)
+	uptime := r.Gauge("go_uptime_seconds", "seconds since the runtime sampler started")
+
+	started := time.Now()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	lastNumGC := ms.NumGC
+
+	sample := func() {
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapInuse.Set(float64(ms.HeapInuse))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		sysBytes.Set(float64(ms.Sys))
+		uptime.Set(time.Since(started).Seconds())
+		// PauseNs is a circular buffer of the last 256 pause durations,
+		// indexed by GC cycle number; replay only the cycles completed since
+		// the previous sample so each pause is observed exactly once.
+		numGC := ms.NumGC
+		if delta := numGC - lastNumGC; delta > 0 {
+			gcRuns.Add(uint64(delta))
+			if delta > uint32(len(ms.PauseNs)) {
+				delta = uint32(len(ms.PauseNs)) // sampler outrun; older pauses are lost
+			}
+			for c := numGC - delta; c < numGC; c++ {
+				gcPause.Observe(float64(ms.PauseNs[c%uint32(len(ms.PauseNs))]) / 1e9)
+			}
+			lastNumGC = numGC
+		}
+	}
+	sample() // publish a first reading immediately so /metrics is never empty
+
+	tick := time.NewTicker(interval)
+	done := make(chan struct{})
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

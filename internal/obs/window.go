@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WindowedHistogram is a rolling-window variant of Histogram: a ring of K
+// fixed-bucket windows, one of which is "current" at any moment. Observe
+// records into the current window with the same lock-free atomic increments
+// as Histogram; Rotate (driven by a wall-clock ticker, see StartWindowTicker)
+// clears the oldest window and makes it current. Quantile, Count and Sum
+// aggregate across the whole ring, so with K windows of span/K each they
+// answer over a sliding window of roughly `span` — unlike the cumulative
+// Histogram, a latency regression shows up within one tick and ages out K
+// ticks later instead of being diluted by everything since process start.
+//
+// The observe path takes no locks and performs no allocation: one atomic
+// load of the current index plus three atomic adds. Rotation clears the
+// next window *before* publishing it as current, so an observer can never
+// see a half-cleared current window; an observer that loaded the index just
+// before a rotation lands its observation in the freshly retired window,
+// which stays in the ring for K-1 more ticks — the observation is late by
+// at most one tick, never lost, unless the observer stalls across a full
+// ring revolution.
+type WindowedHistogram struct {
+	bounds []float64
+	k      int // windows in the ring
+	stride int // len(bounds)+1 counts per window
+	cur    atomic.Uint64
+	counts []atomic.Uint64 // k * stride bucket counts
+	totals []atomic.Uint64 // per-window observation counts
+	sums   []atomicFloat   // per-window value sums
+}
+
+// NewWindowedHistogram builds a ring of k windows over the given bucket
+// upper bounds (nil selects DefBuckets). k < 2 selects 2: a single window
+// would empty completely on every tick instead of sliding.
+func NewWindowedHistogram(buckets []float64, k int) *WindowedHistogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: windowed histogram buckets not strictly increasing at %d: %v", i, buckets))
+		}
+	}
+	if k < 2 {
+		k = 2
+	}
+	stride := len(buckets) + 1
+	return &WindowedHistogram{
+		bounds: append([]float64(nil), buckets...),
+		k:      k,
+		stride: stride,
+		counts: make([]atomic.Uint64, k*stride),
+		totals: make([]atomic.Uint64, k),
+		sums:   make([]atomicFloat, k),
+	}
+}
+
+// Observe records one value into the current window. Lock-free and
+// allocation-free; safe to call concurrently with Rotate.
+func (h *WindowedHistogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	w := int(h.cur.Load())
+	h.counts[w*h.stride+i].Add(1)
+	h.totals[w].Add(1)
+	h.sums[w].Add(v)
+}
+
+// Rotate retires the oldest window: it is cleared and becomes the new
+// current window. Call on a fixed wall-clock tick (window span / K); calling
+// more than K times in a row empties the ring entirely, which is the correct
+// behavior after the ticker goroutine was blocked for longer than the whole
+// window — the data it would have aged out is stale either way.
+func (h *WindowedHistogram) Rotate() {
+	next := (int(h.cur.Load()) + 1) % h.k
+	for i := 0; i < h.stride; i++ {
+		h.counts[next*h.stride+i].Store(0)
+	}
+	h.totals[next].Store(0)
+	h.sums[next].bits.Store(0)
+	h.cur.Store(uint64(next))
+}
+
+// Windows returns the ring size K.
+func (h *WindowedHistogram) Windows() int { return h.k }
+
+// Count returns the observations currently in the ring (the sliding window).
+func (h *WindowedHistogram) Count() uint64 {
+	var total uint64
+	for i := range h.totals {
+		total += h.totals[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of the values currently in the ring.
+func (h *WindowedHistogram) Sum() float64 {
+	var s float64
+	for i := range h.sums {
+		s += h.sums[i].Value()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile over the sliding window, with the same
+// interpolation and empty-bucket semantics as Histogram.Quantile. An empty
+// ring reports 0.
+func (h *WindowedHistogram) Quantile(q float64) float64 {
+	counts := h.snapshotCounts()
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	return quantileFromCounts(h.bounds, counts, total, q)
+}
+
+// snapshotCounts aggregates per-bucket counts across every window in the
+// ring; the last entry is the +Inf bucket.
+func (h *WindowedHistogram) snapshotCounts() []uint64 {
+	out := make([]uint64, h.stride)
+	for w := 0; w < h.k; w++ {
+		for i := 0; i < h.stride; i++ {
+			out[i] += h.counts[w*h.stride+i].Load()
+		}
+	}
+	return out
+}
+
+// WindowedCounter is a rolling-window counter: Inc/Add hit the current
+// window, Rotate retires the oldest, Total sums the ring. The SLO layer uses
+// pairs of these for rolling request/error rates.
+type WindowedCounter struct {
+	cur  atomic.Uint64
+	wins []atomic.Uint64
+}
+
+// NewWindowedCounter builds a ring of k windows (k < 2 selects 2).
+func NewWindowedCounter(k int) *WindowedCounter {
+	if k < 2 {
+		k = 2
+	}
+	return &WindowedCounter{wins: make([]atomic.Uint64, k)}
+}
+
+// Inc adds one to the current window.
+func (c *WindowedCounter) Inc() { c.wins[c.cur.Load()].Add(1) }
+
+// Add adds n to the current window.
+func (c *WindowedCounter) Add(n uint64) { c.wins[c.cur.Load()].Add(n) }
+
+// Rotate clears the oldest window and makes it current.
+func (c *WindowedCounter) Rotate() {
+	next := (int(c.cur.Load()) + 1) % len(c.wins)
+	c.wins[next].Store(0)
+	c.cur.Store(uint64(next))
+}
+
+// Total returns the count currently in the ring (the sliding window).
+func (c *WindowedCounter) Total() uint64 {
+	var total uint64
+	for i := range c.wins {
+		total += c.wins[i].Load()
+	}
+	return total
+}
+
+// Rotator is anything holding ring windows advanced on a wall-clock tick.
+type Rotator interface{ Rotate() }
+
+// StartWindowTicker rotates every Rotator once per interval on a background
+// goroutine and returns a stop function (idempotent, safe from any
+// goroutine). Nothing is started for an empty Rotator list — callers gate the
+// goroutine behind their own enable flag, matching the disabled-path
+// discipline: windows off must mean no ticker goroutine at all.
+func StartWindowTicker(interval time.Duration, rs ...Rotator) (stop func()) {
+	if len(rs) == 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	done := make(chan struct{})
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				for _, r := range rs {
+					r.Rotate()
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// WindowedHistogram returns the named windowed histogram, creating it with
+// the given buckets and ring size on first use (later calls ignore both,
+// like Histogram). Windowed histograms are exposed in the JSON snapshot
+// under "windows" — not in the Prometheus text format, whose histogram type
+// is cumulative-since-start by contract.
+func (r *Registry) WindowedHistogram(name, help string, buckets []float64, k int) *WindowedHistogram {
+	r.mu.RLock()
+	h := r.windows[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.windows[name]; h != nil {
+		return h
+	}
+	r.checkNew(name, help)
+	h = NewWindowedHistogram(buckets, k)
+	r.windows[name] = h
+	return h
+}

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileZeroSkipsEmptyLeadingBuckets is the regression test for the
+// Quantile(0) bug: with all mass in a high bucket, q=0 must report the lower
+// edge of the first non-empty bucket, not the first bucket's upper bound.
+func TestQuantileZeroSkipsEmptyLeadingBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.25, 0.5, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.3) // lands in (0.25, 0.5]
+	}
+	if got := h.Quantile(0); got != 0.25 {
+		t.Fatalf("Quantile(0) = %v, want 0.25 (lower edge of the first non-empty bucket)", got)
+	}
+	// q>0 interpolates inside the occupied bucket as before.
+	if got := h.Quantile(0.5); got <= 0.25 || got > 0.5 {
+		t.Fatalf("Quantile(0.5) = %v, want in (0.25, 0.5]", got)
+	}
+	// Mass only in the +Inf bucket clamps to the last finite bound.
+	h2 := newHistogram([]float64{0.1, 0.25})
+	h2.Observe(7)
+	if got := h2.Quantile(0); got != 0.25 {
+		t.Fatalf("+Inf-only Quantile(0) = %v, want 0.25", got)
+	}
+	// Mass in the first bucket still reports 0 (its lower edge).
+	h3 := newHistogram([]float64{0.1, 0.25})
+	h3.Observe(0.05)
+	if got := h3.Quantile(0); got != 0 {
+		t.Fatalf("first-bucket Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestWindowedHistogramQuantileAndRotation(t *testing.T) {
+	w := NewWindowedHistogram([]float64{0.1, 0.25, 0.5, 1}, 3)
+	if got := w.Quantile(0.99); got != 0 {
+		t.Fatalf("empty ring Quantile = %v, want 0", got)
+	}
+	if w.Count() != 0 || w.Sum() != 0 {
+		t.Fatalf("empty ring count/sum = %d/%v", w.Count(), w.Sum())
+	}
+	for i := 0; i < 8; i++ {
+		w.Observe(0.2)
+	}
+	w.Rotate()
+	for i := 0; i < 2; i++ {
+		w.Observe(0.7)
+	}
+	// Partially filled ring (2 of 3 windows hold data): quantiles aggregate
+	// both windows. 8 observations in (0.1,0.25], 2 in (0.5,1].
+	if got := w.Count(); got != 10 {
+		t.Fatalf("count after partial fill = %d, want 10", got)
+	}
+	if got := w.Quantile(0.5); got <= 0.1 || got > 0.25 {
+		t.Fatalf("p50 = %v, want in (0.1, 0.25]", got)
+	}
+	if got := w.Quantile(0.99); got <= 0.5 || got > 1 {
+		t.Fatalf("p99 = %v, want in (0.5, 1]", got)
+	}
+	if got := w.Quantile(0); got != 0.1 {
+		t.Fatalf("windowed Quantile(0) = %v, want 0.1", got)
+	}
+	wantSum := 8*0.2 + 2*0.7
+	if got := w.Sum(); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+
+	// Two more rotations age out the first window's 8 observations.
+	w.Rotate()
+	w.Rotate()
+	if got := w.Count(); got != 2 {
+		t.Fatalf("count after aging = %d, want 2 (only the 0.7s remain)", got)
+	}
+	if got := w.Quantile(0.5); got <= 0.5 || got > 1 {
+		t.Fatalf("p50 after aging = %v, want in (0.5, 1]", got)
+	}
+}
+
+// TestWindowedHistogramTickSkew models a ticker goroutine that was blocked
+// past the whole window span and then fires its backlog in a burst: rotating
+// more than K times in a row must empty the ring completely and report 0,
+// and fresh observations afterwards must be recorded normally.
+func TestWindowedHistogramTickSkew(t *testing.T) {
+	w := NewWindowedHistogram(nil, 4)
+	for i := 0; i < 100; i++ {
+		w.Observe(0.01)
+	}
+	for i := 0; i < w.Windows()+3; i++ {
+		w.Rotate()
+	}
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after burst rotation = %d, want 0 (all windows aged out)", got)
+	}
+	if got := w.Quantile(0.99); got != 0 {
+		t.Fatalf("all-windows-empty Quantile = %v, want 0", got)
+	}
+	if got := w.Sum(); got != 0 {
+		t.Fatalf("all-windows-empty Sum = %v, want 0", got)
+	}
+	w.Observe(0.3)
+	if got, q := w.Count(), w.Quantile(1); got != 1 || q <= 0.25 || q > 0.5 {
+		t.Fatalf("post-burst observe: count %d quantile %v", got, q)
+	}
+}
+
+// TestWindowedHistogramObserveRacesRotate hammers Observe from several
+// goroutines while another rotates continuously; under -race this pins the
+// lock-free contract. An observation may land in a window that has already
+// been retired (late by one tick) but is only lost if its goroutine stalls
+// across a whole ring revolution, so the aggregate count stays within
+// [total - lost-window slack, total].
+func TestWindowedHistogramObserveRacesRotate(t *testing.T) {
+	w := NewWindowedHistogram(nil, 4)
+	const workers = 4
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stopRotate := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopRotate:
+				return
+			default:
+				w.Rotate()
+			}
+		}
+	}()
+	var obsWG sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		obsWG.Add(1)
+		go func(g int) {
+			defer obsWG.Done()
+			for i := 0; i < perWorker; i++ {
+				w.Observe(float64(i%100) / 1000)
+			}
+		}(g)
+	}
+	obsWG.Wait()
+	close(stopRotate)
+	wg.Wait()
+	// Rotation kept clearing windows, so most observations are gone; the
+	// assertions are about safety, not retention: no crash, no negative
+	// drift, quantiles readable mid-churn.
+	if got := w.Count(); got > workers*perWorker {
+		t.Fatalf("count %d exceeds observations %d", got, workers*perWorker)
+	}
+	_ = w.Quantile(0.99)
+
+	// Without concurrent rotation every observation must be retained.
+	w2 := NewWindowedHistogram(nil, 4)
+	var wg2 sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < perWorker; i++ {
+				w2.Observe(0.001)
+			}
+		}()
+	}
+	wg2.Wait()
+	if got := w2.Count(); got != workers*perWorker {
+		t.Fatalf("rotation-free count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestWindowedCounter(t *testing.T) {
+	c := NewWindowedCounter(3)
+	c.Inc()
+	c.Add(4)
+	if got := c.Total(); got != 5 {
+		t.Fatalf("total = %d, want 5", got)
+	}
+	c.Rotate()
+	c.Inc()
+	if got := c.Total(); got != 6 {
+		t.Fatalf("total after rotate = %d, want 6", got)
+	}
+	c.Rotate()
+	c.Rotate() // ages out the first window's 5
+	if got := c.Total(); got != 1 {
+		t.Fatalf("total after aging = %d, want 1", got)
+	}
+}
+
+func TestStartWindowTickerRotates(t *testing.T) {
+	w := NewWindowedHistogram(nil, 2)
+	w.Observe(0.5)
+	stop := StartWindowTicker(5*time.Millisecond, w)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Count() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never aged out the observation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	// No ticker goroutine at all for an empty rotator list.
+	stopEmpty := StartWindowTicker(time.Millisecond)
+	stopEmpty()
+}
+
+func TestRegistryWindowedHistogram(t *testing.T) {
+	r := NewRegistry()
+	w := r.WindowedHistogram("lat_window_seconds", "rolling latency", nil, 6)
+	if again := r.WindowedHistogram("lat_window_seconds", "", []float64{1}, 2); again != w {
+		t.Fatal("re-registration returned a different windowed histogram")
+	}
+	w.Observe(0.002)
+	w.Observe(0.004)
+	snap := r.Snapshot()
+	ws, ok := snap.Windows["lat_window_seconds"]
+	if !ok {
+		t.Fatalf("windowed histogram missing from snapshot: %+v", snap.Windows)
+	}
+	if ws.Count != 2 || ws.Windows != 6 || ws.P99 <= 0 {
+		t.Fatalf("window snapshot %+v", ws)
+	}
+	// Name collisions across kinds still panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic registering a counter over a windowed histogram name")
+			}
+		}()
+		r.Counter("lat_window_seconds", "")
+	}()
+	// A registry with no windows omits the section from JSON entirely.
+	empty := NewRegistry()
+	empty.Counter("c_total", "").Inc()
+	var sb strings.Builder
+	if err := empty.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "windows") {
+		t.Fatalf("window-free snapshot mentions windows:\n%s", sb.String())
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 0.5})
+	h.Observe(0.05) // untraced: no exemplar
+	h.ObserveExemplar(0.3, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(0.4, "00f067aa0ba902b7aa00000000000001") // same bucket: replaces
+	h.ObserveExemplar(7, "00f067aa0ba902b7aa00000000000002")   // +Inf bucket
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `lat_seconds_bucket{le="0.5"} 3 # {trace_id="00f067aa0ba902b7aa00000000000001"} 0.4`) {
+		t.Fatalf("bucket exemplar line missing or stale:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_bucket{le="+Inf"} 4 # {trace_id="00f067aa0ba902b7aa00000000000002"} 7`) {
+		t.Fatalf("+Inf exemplar line missing:\n%s", text)
+	}
+	if strings.Contains(text, `le="0.1"} 1 #`) {
+		t.Fatalf("untraced bucket grew an exemplar:\n%s", text)
+	}
+
+	snap := r.Snapshot()
+	hs := snap.Histograms["lat_seconds"]
+	if len(hs.Exemplars) != 2 {
+		t.Fatalf("snapshot exemplars = %+v, want entries for 0.5 and +Inf", hs.Exemplars)
+	}
+	if ex := hs.Exemplars["0.5"]; ex.TraceID != "00f067aa0ba902b7aa00000000000001" || ex.Value != 0.4 || ex.UnixSec <= 0 {
+		t.Fatalf("0.5 exemplar %+v", ex)
+	}
+	if ex := hs.Exemplars["+Inf"]; ex.TraceID != "00f067aa0ba902b7aa00000000000002" {
+		t.Fatalf("+Inf exemplar %+v", ex)
+	}
+
+	// Exemplar-free histograms keep the exact pre-exemplar exposition.
+	r2 := NewRegistry()
+	r2.Histogram("plain_seconds", "", []float64{1}).Observe(0.5)
+	var sb2 strings.Builder
+	if err := r2.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "#  {") || strings.Contains(sb2.String(), "} 1 #") {
+		t.Fatalf("exemplar-free output changed:\n%s", sb2.String())
+	}
+	if hs2 := r2.Snapshot().Histograms["plain_seconds"]; hs2.Exemplars != nil {
+		t.Fatalf("exemplar-free snapshot has exemplars: %+v", hs2.Exemplars)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Millisecond)
+	defer stop()
+	snap := r.Snapshot()
+	if snap.Gauges["go_goroutines"] <= 0 {
+		t.Fatalf("go_goroutines = %v, want > 0", snap.Gauges["go_goroutines"])
+	}
+	if snap.Gauges["go_heap_inuse_bytes"] <= 0 || snap.Gauges["go_sys_bytes"] <= 0 {
+		t.Fatalf("heap gauges not sampled: %+v", snap.Gauges)
+	}
+	// Force a GC and wait for the sampler to pick up the pause.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		time.Sleep(3 * time.Millisecond)
+		snap = r.Snapshot()
+		if snap.Counters["go_gc_runs_total"] > 0 && snap.Histograms["go_gc_pause_seconds"].Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler never observed a GC: %+v", snap.Counters)
+		}
+	}
+	stop()
+	stop() // idempotent
+
+	// A registry without the sampler exposes no go_* series at all.
+	var sb strings.Builder
+	if err := NewRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "go_") {
+		t.Fatalf("sampler-free registry has go_* series:\n%s", sb.String())
+	}
+}

@@ -3,6 +3,22 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache metrics live with the cache itself so every lookup path is counted
+// identically: get ticks exactly one of hits/misses (a nil, disabled cache
+// always misses), and put ticks evictions when a full cache drops its LRU
+// entry. The hit ratio and eviction rate together tell whether CacheSize is
+// sized to the live key population.
+var (
+	cacheHits = obs.Default().Counter("serve_cache_hits_total",
+		"query responses answered from the LRU response cache")
+	cacheMisses = obs.Default().Counter("serve_cache_misses_total",
+		"cacheable query responses computed against the index")
+	cacheEvictions = obs.Default().Counter("serve_cache_evictions_total",
+		"LRU response-cache entries evicted to make room for new responses")
 )
 
 // lru is a small, mutex-guarded response cache mapping canonical request
@@ -35,15 +51,18 @@ func newLRU(capacity int) *lru {
 // get returns the cached body for key and refreshes its recency.
 func (c *lru) get(key string) ([]byte, bool) {
 	if c == nil {
+		cacheMisses.Inc()
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		cacheMisses.Inc()
 		return nil, false
 	}
 	c.order.MoveToFront(el)
+	cacheHits.Inc()
 	return el.Value.(*lruEntry).body, true
 }
 
@@ -65,6 +84,7 @@ func (c *lru) put(key string, body []byte) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		cacheEvictions.Inc()
 	}
 }
 

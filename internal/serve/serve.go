@@ -55,10 +55,6 @@ var (
 		"query requests currently executing inside the concurrency semaphore")
 	throttled = obs.Default().Counter("serve_throttled_total",
 		"query requests rejected 503 because the semaphore stayed full until the request deadline")
-	cacheHits = obs.Default().Counter("serve_cache_hits_total",
-		"query responses answered from the LRU response cache")
-	cacheMisses = obs.Default().Counter("serve_cache_misses_total",
-		"cacheable query responses computed against the index")
 	reloadsTotal = obs.Default().Counter("serve_reloads_total",
 		"successful hot model reloads (each swaps the index and empties the cache)")
 )
@@ -115,6 +111,12 @@ type Config struct {
 	// requests; failed requests (status >= 400) and slow queries are still
 	// logged.
 	Quiet bool
+	// SLO, when non-nil, enables rolling-window SLO tracking: per-endpoint
+	// windowed latency quantiles, error budgets and burn rates served on
+	// GET /debug/slo (mount SLORoutes on the debug mux) and summarized in
+	// /healthz. Nil keeps the disabled path inert: no ticker goroutine, no
+	// extra metrics, byte-identical responses.
+	SLO *SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +174,7 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 	gens    atomic.Uint64 // generation counter; the live state carries its value
+	slo     *sloSet       // nil when Config.SLO is nil (SLO tracking off)
 
 	mSimilar    endpointMetrics
 	mRecommend  endpointMetrics
@@ -202,6 +205,9 @@ func New(ix *core.Index, model *lda.Model, load Loader, cfg Config) (*Server, er
 		mWhitespace: newEndpointMetrics("whitespace"),
 		mInfer:      newEndpointMetrics("infer"),
 		mReload:     newEndpointMetrics("reload"),
+	}
+	if cfg.SLO != nil {
+		s.slo = newSLOSet(*cfg.SLO, []string{"similar", "recommend", "whitespace", "infer"})
 	}
 	s.cur.Store(&state{ix: ix, model: model, cache: newLRU(cfg.CacheSize), gen: s.gens.Add(1)})
 	mux := http.NewServeMux()
@@ -338,6 +344,7 @@ func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.Ha
 		defer func() {
 			sp.AttrInt("status", int64(status))
 			sp.End()
+			s.slo.record(name, status, time.Since(start))
 			s.logRequest(r, name, status, time.Since(start), sp)
 		}()
 
@@ -382,7 +389,13 @@ func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.Ha
 			}
 		}
 		m.requests.Inc()
-		m.latency.Observe(time.Since(start).Seconds())
+		// Traced requests leave their trace ID as a bucket exemplar on the
+		// latency histogram; untraced traffic keeps the allocation-free path.
+		if sp.Active() {
+			m.latency.ObserveExemplar(time.Since(start).Seconds(), sp.TraceID().String())
+		} else {
+			m.latency.Observe(time.Since(start).Seconds())
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
 	}
@@ -576,16 +589,17 @@ type inferResponse struct {
 }
 
 type healthResponse struct {
-	Status     string        `json:"status"`
-	Companies  int           `json:"companies"`
-	Dim        int           `json:"dim"`
-	Topics     int           `json:"topics,omitempty"`
-	Vocab      int           `json:"vocab"`
-	Cached     int           `json:"cached"`
-	Generation uint64        `json:"generation"`
-	UptimeSec  float64       `json:"uptime_seconds"`
-	Tracing    bool          `json:"tracing"`
-	Build      buildInfoJSON `json:"build"`
+	Status     string         `json:"status"`
+	Companies  int            `json:"companies"`
+	Dim        int            `json:"dim"`
+	Topics     int            `json:"topics,omitempty"`
+	Vocab      int            `json:"vocab"`
+	Cached     int            `json:"cached"`
+	Generation uint64         `json:"generation"`
+	UptimeSec  float64        `json:"uptime_seconds"`
+	Tracing    bool           `json:"tracing"`
+	Build      buildInfoJSON  `json:"build"`
+	SLO        *sloHealthJSON `json:"slo,omitempty"` // present only with SLO tracking on
 }
 
 type reloadResponse struct {
@@ -612,6 +626,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.model != nil {
 		resp.Topics = st.model.K
+	}
+	if s.slo != nil {
+		slo := s.slo.status()
+		resp.SLO = &sloHealthJSON{OK: slo.OK, Burning: slo.Burning}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
@@ -648,10 +666,8 @@ func (s *Server) handleSimilar(ctx context.Context, st *state, r *http.Request) 
 	}
 	key := fmt.Sprintf("similar|%d|%d|%s", id, k, f.Key())
 	if body, ok := st.cache.get(key); ok {
-		cacheHits.Inc()
 		return response{raw: body}, nil
 	}
-	cacheMisses.Inc()
 	ms, err := st.ix.TopKContext(ctx, id, k, f)
 	if err != nil {
 		return response{}, err
@@ -686,10 +702,8 @@ func (s *Server) handleRecommend(ctx context.Context, st *state, r *http.Request
 	}
 	key := fmt.Sprintf("recommend|%d|%d|%s", id, peers, f.Key())
 	if body, ok := st.cache.get(key); ok {
-		cacheHits.Inc()
 		return response{raw: body}, nil
 	}
-	cacheMisses.Inc()
 	recs, err := st.ix.RecommendFromSimilarContext(ctx, id, peers, f)
 	if err != nil {
 		return response{}, err

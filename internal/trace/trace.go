@@ -389,13 +389,19 @@ func (s *Span) Error(err error) {
 // simultaneously an aggregate observation and a tree node), and — for the
 // root span — runs the tail-sampling decision and publishes the trace to the
 // ring buffer if retained. Returns the span duration; 0 for a nil span.
+//
+// The histogram observation carries the span's trace ID as a bucket exemplar,
+// so a /metrics bucket line links directly to the /debug/traces/{id} tree of
+// one real request that landed in it. Untraced traffic never reaches End (nil
+// span fast path), so exemplar-free exposition stays byte-identical.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
 	s.dur = time.Since(s.start)
 	obs.Default().Histogram(obs.MetricName(s.name)+"_seconds",
-		"wall-clock seconds spent in "+s.name+" trace spans", obs.DefBuckets).Observe(s.dur.Seconds())
+		"wall-clock seconds spent in "+s.name+" trace spans", obs.DefBuckets).
+		ObserveExemplar(s.dur.Seconds(), s.td.id.String())
 	if s.parent.IsZero() {
 		s.td.finish(s.dur)
 	}

@@ -1,0 +1,246 @@
+package hiddenlayer
+
+// End-to-end test for the serving benchmark pair: ibserve with SLO
+// tracking, trace exemplars and runtime metrics on one side, ibload
+// replaying a deterministic query mix on the other. Asserts the full loop
+// the ISSUE promises: ibload writes a well-formed BENCH_serve.json,
+// /debug/slo reflects the run it just absorbed, and at least one /metrics
+// histogram line carries an exemplar trace ID that resolves at
+// /debug/traces/{id}.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadReport mirrors load.Report without importing internal packages into
+// the binary-level test.
+type loadReport struct {
+	Benchmark   string  `json:"benchmark"`
+	Mode        string  `json:"mode"`
+	TargetQPS   float64 `json:"target_qps"`
+	Concurrency int     `json:"concurrency"`
+	COCorrected bool    `json:"coordinated_omission_corrected"`
+	MeasuredSec float64 `json:"measured_seconds"`
+	Total       struct {
+		Requests       int     `json:"requests"`
+		Errors         int     `json:"errors"`
+		QPS            float64 `json:"qps"`
+		P50MS          float64 `json:"p50_ms"`
+		P99MS          float64 `json:"p99_ms"`
+		SlowestTraceID string  `json:"slowest_trace_id"`
+	} `json:"total"`
+	Endpoints map[string]struct {
+		Requests       int     `json:"requests"`
+		Errors         int     `json:"errors"`
+		P50MS          float64 `json:"p50_ms"`
+		P99MS          float64 `json:"p99_ms"`
+		SlowestTraceID string  `json:"slowest_trace_id"`
+	} `json:"endpoints"`
+}
+
+type sloStatus struct {
+	WindowSec float64  `json:"window_seconds"`
+	OK        bool     `json:"ok"`
+	Burning   []string `json:"burning"`
+	Endpoints []struct {
+		Endpoint             string  `json:"endpoint"`
+		Requests             int     `json:"requests"`
+		Errors               int     `json:"errors"`
+		AvailabilityObj      float64 `json:"availability_objective"`
+		ErrorBudgetRemaining float64 `json:"error_budget_remaining"`
+		BurnRate             float64 `json:"burn_rate"`
+		P99MS                float64 `json:"p99_ms"`
+		LatencyObjectiveMS   float64 `json:"latency_objective_ms"`
+	} `json:"endpoints"`
+}
+
+// exemplarLine matches an OpenMetrics bucket line with a trace exemplar:
+//
+//	name_bucket{le="0.005"} 12 # {trace_id="4bf9..."} 0.0031 1e9
+var exemplarLine = regexp.MustCompile(`_bucket\{le="[^"]+"\} \d+ # \{trace_id="([0-9a-f]{32})"\}`)
+
+func TestLoadIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ibgen := buildTool(t, dir, "ibgen")
+	ibtrain := buildTool(t, dir, "ibtrain")
+	ibserve := buildTool(t, dir, "ibserve")
+	ibload := buildTool(t, dir, "ibload")
+
+	corpusPath := filepath.Join(dir, "corpus.jsonl")
+	modelPath := filepath.Join(dir, "lda.gob")
+	runTool(t, ibgen, "-companies", "200", "-seed", "9", "-out", corpusPath)
+	runTool(t, ibtrain, "-model", "lda", "-topics=3", "-corpus", corpusPath,
+		"-out", modelPath, "-seed", "1")
+
+	// Sample every request so the slowest one is guaranteed retained; the
+	// run below issues ~180 requests, under the 256-trace ring.
+	base, debug := traceServer(t, ibserve, corpusPath, modelPath,
+		"-trace", "-trace-sample", "1", "-quiet",
+		"-slo", "-slo-window", "30s", "-slo-latency", "default=250ms",
+		"-runtime-metrics", "-runtime-interval", "1s")
+
+	reportPath := filepath.Join(dir, "BENCH_serve.json")
+	out := runTool(t, ibload,
+		"-url", base, "-corpus", corpusPath,
+		"-mode", "open", "-rate", "100", "-duration", "1500ms", "-warmup", "300ms",
+		"-seed", "4", "-out", reportPath)
+	if !strings.Contains(out, "report written to") {
+		t.Fatalf("ibload output: %s", out)
+	}
+
+	// The report is well-formed with per-endpoint quantiles.
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_serve.json: %v\n%s", err, raw)
+	}
+	if rep.Mode != "open" || !rep.COCorrected || rep.TargetQPS != 100 {
+		t.Fatalf("report metadata: %+v", rep)
+	}
+	if rep.Total.Requests < 100 || rep.Total.QPS <= 0 {
+		t.Fatalf("report total: %+v", rep.Total)
+	}
+	if rep.Total.Errors != 0 {
+		t.Fatalf("replay hit errors against a healthy server: %+v", rep.Total)
+	}
+	var sum int
+	for name, e := range rep.Endpoints {
+		sum += e.Requests
+		if e.P50MS > e.P99MS {
+			t.Fatalf("%s quantiles out of order: %+v", name, e)
+		}
+	}
+	if sum != rep.Total.Requests {
+		t.Fatalf("endpoint sum %d != total %d", sum, rep.Total.Requests)
+	}
+	if len(rep.Endpoints) < 3 {
+		t.Fatalf("mix only reached %d endpoints: %v", len(rep.Endpoints), rep.Endpoints)
+	}
+
+	// The report's slowest trace resolves on the server's debug listener.
+	if rep.Total.SlowestTraceID == "" {
+		t.Fatal("report missing slowest_trace_id with tracing on")
+	}
+	var tr traceNode
+	getTraceJSON(t, debug, rep.Total.SlowestTraceID, &tr)
+	if tr.TraceID != rep.Total.SlowestTraceID || tr.Spans == 0 {
+		t.Fatalf("slowest trace: %+v", tr)
+	}
+
+	// /debug/slo reflects the run: the endpoints ibload hit show requests,
+	// zero errors, full error budget.
+	code, body := httpGetBody(t, debug+"/debug/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slo: %d\n%s", code, body)
+	}
+	var slo sloStatus
+	if err := json.Unmarshal(body, &slo); err != nil {
+		t.Fatalf("/debug/slo: %v\n%s", err, body)
+	}
+	if !slo.OK || slo.WindowSec != 30 {
+		t.Fatalf("slo status: %+v", slo)
+	}
+	var sloRequests int
+	for _, e := range slo.Endpoints {
+		sloRequests += e.Requests
+		if e.Errors != 0 {
+			t.Fatalf("slo endpoint %s saw errors: %+v", e.Endpoint, e)
+		}
+		if e.Requests > 0 && (e.BurnRate != 0 || e.ErrorBudgetRemaining != 1) {
+			t.Fatalf("error-free endpoint %s burning budget: %+v", e.Endpoint, e)
+		}
+		if e.LatencyObjectiveMS != 250 {
+			t.Fatalf("-slo-latency default not applied to %s: %+v", e.Endpoint, e)
+		}
+	}
+	// ibload's total includes warmup requests the report excluded; the SLO
+	// window saw every one of them (window 30s > run span).
+	if sloRequests < rep.Total.Requests {
+		t.Fatalf("/debug/slo saw %d requests, ibload measured %d", sloRequests, rep.Total.Requests)
+	}
+	if len(slo.Burning) != 0 {
+		t.Fatalf("healthy run marked burning: %v", slo.Burning)
+	}
+
+	// Text rendering for humans.
+	code, body = httpGetBody(t, debug+"/debug/slo?format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "endpoint") {
+		t.Fatalf("/debug/slo?format=text: %d\n%s", code, body)
+	}
+
+	// /healthz carries the SLO summary.
+	code, body = httpGetBody(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"slo"`) {
+		t.Fatalf("/healthz: %d\n%s", code, body)
+	}
+
+	// /metrics: at least one histogram bucket line carries a trace
+	// exemplar, and the exemplar's trace ID resolves at /debug/traces/{id}.
+	code, body = httpGetBody(t, debug+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	m := exemplarLine.FindStringSubmatch(string(body))
+	if m == nil {
+		t.Fatalf("no exemplar on any /metrics bucket line:\n%s", body)
+	}
+	var exTrace traceNode
+	getTraceJSON(t, debug, m[1], &exTrace)
+	if exTrace.TraceID != m[1] {
+		t.Fatalf("exemplar trace: %+v", exTrace)
+	}
+
+	// Runtime sampler series are exposed (interval 1s, server has been up
+	// longer than that; first sample is synchronous anyway).
+	metrics := string(body)
+	for _, series := range []string{"go_goroutines", "go_heap_inuse_bytes", "go_uptime_seconds"} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("/metrics missing runtime series %s", series)
+		}
+	}
+	// Windowed SLO histograms registered by the serve layer are in the JSON
+	// exposition with rolling quantiles.
+	code, body = httpGetBody(t, debug+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(string(body), "latency_window_seconds") {
+		t.Fatalf("/metrics.json missing windowed series: %d\n%.2000s", code, body)
+	}
+
+	// Determinism across processes: the same seed replays the same stream,
+	// so a second run's endpoint request counts match the first (same total
+	// schedule; per-endpoint split depends only on the RNG).
+	report2 := filepath.Join(dir, "BENCH_serve2.json")
+	runTool(t, ibload,
+		"-url", base, "-corpus", corpusPath,
+		"-mode", "open", "-rate", "100", "-duration", "1500ms", "-warmup", "300ms",
+		"-seed", "4", "-out", report2)
+	raw2, err := os.ReadFile(report2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 loadReport
+	if err := json.Unmarshal(raw2, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Total.Requests != rep.Total.Requests {
+		t.Fatalf("same seed, different request counts: %d vs %d",
+			rep2.Total.Requests, rep.Total.Requests)
+	}
+	for name, e := range rep.Endpoints {
+		if rep2.Endpoints[name].Requests != e.Requests {
+			t.Fatalf("same seed, different %s counts: %d vs %d",
+				name, rep2.Endpoints[name].Requests, e.Requests)
+		}
+	}
+}
