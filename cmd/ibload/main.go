@@ -63,6 +63,7 @@ func main() {
 		mixWS      = flag.Float64("mix-whitespace", load.DefaultMix.Whitespace, "whitespace endpoint weight")
 		mixInfer   = flag.Float64("mix-infer", load.DefaultMix.Infer, "infer endpoint weight")
 		sendTrace  = flag.Bool("trace", true, "send a fresh W3C traceparent with every request")
+		label      = flag.String("label", "", "label recorded in the report (tells runs apart in combined benchmark files)")
 		out        = flag.String("out", "BENCH_serve.json", "report path (written atomically)")
 		verbose    = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
@@ -101,6 +102,7 @@ func main() {
 		Warmup:      *warmup,
 		Timeout:     *timeout,
 		Trace:       *sendTrace,
+		Label:       *label,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,6 +129,10 @@ func main() {
 	tot := report.Total
 	fmt.Printf("%-12s %8d %6d %8.1f %9.3f %9.3f %9.3f %9.3f\n",
 		"total", tot.Requests, tot.Errors, tot.QPS, tot.P50MS, tot.P90MS, tot.P99MS, tot.P999MS)
+	if tot.Errors > 0 || tot.Partial > 0 {
+		fmt.Printf("errors: %d transport, %d http; partial responses: %d\n",
+			tot.ErrorsTransport, tot.ErrorsHTTP, tot.Partial)
+	}
 
 	if err := report.WriteFile(*out); err != nil {
 		fatal(fmt.Errorf("writing report: %w", err))

@@ -1,0 +1,180 @@
+// Command ibrouter is the scatter-gather front end for a sharded ibserve
+// cluster. Each backend runs `ibserve -shard i/n` over one hash partition of
+// the candidate scans; ibrouter fans every query out to all shards with
+// per-shard deadlines carved from the request budget, hedges stragglers
+// after a quantile delay, merges the partial top-k answers under the exact
+// core total order — a fully healthy fan-out is byte-identical to one
+// unsharded ibserve — and degrades to "partial": true responses naming the
+// missing shards when some of them are down.
+//
+// Usage:
+//
+//	ibrouter -shards localhost:8081,localhost:8082,localhost:8083
+//
+// The shard list must be in partition order: the i-th address serves
+// -shard i/n. Endpoints mirror ibserve's query surface:
+//
+//	GET  /v1/similar/{id}     merged top-k similar companies
+//	GET  /v1/recommend/{id}   two-phase recommendations (global peers)
+//	POST /v1/whitespace       merged white-space prospects
+//	POST /v1/infer            merged out-of-corpus scoring
+//	GET  /healthz             router + per-shard breaker/readiness state
+//	GET  /readyz              router readiness (503 once draining)
+//
+// Per-shard circuit breakers (-breaker-threshold consecutive failures trip;
+// half-open probes with exponential cooldown) isolate dead shards, and a
+// background /readyz probe (-probe-interval) skips draining ones. Router
+// metrics — per-endpoint router_* series plus per-shard fan-out latency,
+// hedges fired/won and breaker state — are served on -debug-addr /metrics;
+// -slo adds rolling-window SLO tracking on GET /debug/slo. Requests carry a
+// W3C traceparent to every shard, so -trace shows the full fan-out span
+// tree. SIGINT/SIGTERM flips /readyz, waits -drain-wait, then drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/router"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		shards = flag.String("shards", "", "comma-separated shard addresses in partition order (required)")
+		addr   = flag.String("addr", "localhost:8090", "serve address (port 0 picks a free port)")
+
+		reqTO        = flag.Duration("request-timeout", 5*time.Second, "whole-request budget (shards get it minus the merge reserve)")
+		mergeReserve = flag.Float64("merge-reserve", 0.1, "fraction of the budget held back from shard deadlines for merging")
+		hedgeQ       = flag.Float64("hedge-quantile", 0.9, "hedge a shard call once it outlives this quantile of the shard's recent latencies (negative disables)")
+		hedgeMin     = flag.Duration("hedge-min", 20*time.Millisecond, "minimum hedge delay")
+		brThreshold  = flag.Int("breaker-threshold", 5, "consecutive shard failures that trip its breaker")
+		brCooldown   = flag.Duration("breaker-cooldown", 500*time.Millisecond, "first breaker open interval (doubles per failed probe)")
+		brMaxCool    = flag.Duration("breaker-max-cooldown", 10*time.Second, "breaker cooldown ceiling")
+		probeIvl     = flag.Duration("probe-interval", time.Second, "shard /readyz probe cadence (negative disables)")
+		defaultK     = flag.Int("k", 10, "default result count (must match the shards' -k)")
+		peers        = flag.Int("peers", 25, "default recommendation peer count (must match the shards' -peers)")
+		grace        = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
+		drainWait    = flag.Duration("drain-wait", 0, "after SIGTERM, keep serving this long with /readyz at 503 before draining")
+		quiet        = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
+
+		sloOn     = flag.Bool("slo", false, "track rolling-window router SLOs and serve GET /debug/slo on -debug-addr")
+		sloWindow = flag.Duration("slo-window", serve.DefaultSLOWindow, "rolling SLO evaluation window")
+		sloAvail  = flag.Float64("slo-availability", serve.DefaultSLOAvailability, "availability objective (fraction of requests without a server error)")
+		sloLat    = flag.String("slo-latency", "", `per-endpoint p99 latency objectives, e.g. "default=100ms,similar=50ms"`)
+	)
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	traceFlags := trace.BindFlags(flag.CommandLine)
+	flag.Parse()
+	traceFlags.Apply(trace.Default())
+	logger = obs.NewCLILogger(os.Stderr, "ibrouter", obsFlags.Verbose)
+
+	if strings.TrimSpace(*shards) == "" {
+		fatal(errors.New("-shards is required (comma-separated addresses in partition order)"))
+	}
+	var shardList []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shardList = append(shardList, s)
+		}
+	}
+
+	cfg := router.Config{
+		Shards:             shardList,
+		Timeout:            *reqTO,
+		MergeReserve:       *mergeReserve,
+		HedgeQuantile:      *hedgeQ,
+		HedgeMin:           *hedgeMin,
+		BreakerThreshold:   *brThreshold,
+		BreakerCooldown:    *brCooldown,
+		BreakerMaxCooldown: *brMaxCool,
+		ProbeInterval:      *probeIvl,
+		DefaultK:           *defaultK,
+		DefaultPeers:       *peers,
+		Logger:             logger,
+		Quiet:              *quiet,
+	}
+	if *sloOn {
+		objectives, err := serve.ParseLatencyObjectives(*sloLat)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SLO = &serve.SLOConfig{
+			Window:       *sloWindow,
+			Availability: *sloAvail,
+			Latency:      objectives,
+		}
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+	logger.Info("router built", "shards", len(shardList))
+
+	if obsFlags.DebugAddr != "" {
+		routes := append(trace.Routes(trace.Default()), rt.Routes()...)
+		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default(), routes...)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug on %s\n", dbg.Addr())
+		logger.Info("debug server listening", "addr", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	httpSrv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		rt.SetReady(false)
+		logger.Info("shutting down", "drain_wait", drainWait.String(), "grace", grace.String())
+		if *drainWait > 0 {
+			time.Sleep(*drainWait)
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown: " + err.Error())
+		}
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+	logger.Info("drained and stopped")
+}

@@ -15,6 +15,17 @@
 //	POST /v1/infer       {"owned":[0,4,7],"k":10}     out-of-corpus scoring
 //	POST /admin/reload                                hot-swap model + corpus
 //	GET  /healthz                                     liveness + index shape
+//	GET  /readyz                                      readiness (503 once draining)
+//
+// Sharded serving: -shard i/n restricts the candidate scans to partition i
+// of n (a stable hash of the company id; the representations stay complete,
+// so any shard can still score recommendation peers). Run one ibserve per
+// partition and an ibrouter over all of them — the router merges per-shard
+// top-k answers byte-identically to an unsharded server. POST bodies above
+// -max-body-bytes fail fast with 413. On SIGTERM, /readyz flips to 503 and
+// the process keeps serving for -drain-wait before draining, so routers
+// stop routing to it first. The -chaos-* flags inject deterministic faults
+// (latency, 5xx, blackholes) for robustness drills; they are off by default.
 //
 // All query endpoints accept the business-filter fields (sic2, country,
 // min_employees, max_employees, min_revenue_m, max_revenue_m) as query
@@ -52,9 +63,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/lda"
@@ -72,11 +86,31 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// buildState loads the corpus and model from disk and assembles the index.
-// It is both the startup path and the /admin/reload loader, so a reload
-// with unchanged files reproduces the startup state bit for bit (the
-// representation RNG is re-seeded identically each load).
-func buildState(corpusPath, modelPath string, seed int64) (*core.Index, *lda.Model, error) {
+// parseShard parses the -shard i/n syntax into a (partition, count) pair;
+// the empty string means unsharded.
+func parseShard(s string) (part, parts int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q is not i/n (e.g. 0/3)", s)
+	}
+	if part, err = strconv.Atoi(a); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: bad partition index", s)
+	}
+	if parts, err = strconv.Atoi(b); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: bad partition count", s)
+	}
+	return part, parts, nil
+}
+
+// buildState loads the corpus and model from disk and assembles the index
+// (partitioned when running as a shard). It is both the startup path and the
+// /admin/reload loader, so a reload with unchanged files reproduces the
+// startup state bit for bit (the representation RNG is re-seeded identically
+// each load, and the partition is re-applied).
+func buildState(corpusPath, modelPath string, seed int64, part, parts int) (*core.Index, *lda.Model, error) {
 	c, err := corpus.LoadFile(corpusPath)
 	if err != nil {
 		return nil, nil, fmt.Errorf("loading corpus: %w", err)
@@ -98,6 +132,11 @@ func buildState(corpusPath, modelPath string, seed int64) (*core.Index, *lda.Mod
 	if err != nil {
 		return nil, nil, err
 	}
+	if parts > 1 {
+		if err := ix.SetPartition(part, parts); err != nil {
+			return nil, nil, err
+		}
+	}
 	return ix, m, nil
 }
 
@@ -113,7 +152,10 @@ func main() {
 		maxConc   = flag.Int("max-concurrent", 0, "max queries executing at once (0 = worker count)")
 		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
 		cacheSize = flag.Int("cache-size", 256, "LRU response cache entries (negative disables)")
+		maxBody   = flag.Int64("max-body-bytes", 1<<20, "POST request body cap in bytes; oversized bodies fail 413 (negative disables)")
+		shardSpec = flag.String("shard", "", `serve one partition of the candidate scans, as "i/n" (e.g. 0/3); pair with an ibrouter over all n shards`)
 		grace     = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
+		drainWait = flag.Duration("drain-wait", 0, "after SIGTERM, keep serving this long with /readyz at 503 before draining, so routers stop sending first")
 		quiet     = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
 
 		sloOn     = flag.Bool("slo", false, "track rolling-window SLOs per endpoint and serve GET /debug/slo on -debug-addr")
@@ -127,6 +169,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for parallel index scans (deterministic at any value)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	traceFlags := trace.BindFlags(flag.CommandLine)
+	chaosFlags := chaos.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
 	traceFlags.Apply(trace.Default())
@@ -137,11 +180,20 @@ func main() {
 		defer stopSampler()
 	}
 
-	ix, model, err := buildState(*corpusPath, *modelPath, *seed)
+	part, parts, err := parseShard(*shardSpec)
 	if err != nil {
 		fatal(err)
 	}
-	logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K)
+	ix, model, err := buildState(*corpusPath, *modelPath, *seed, part, parts)
+	if err != nil {
+		fatal(err)
+	}
+	if parts > 1 {
+		logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K,
+			"shard", *shardSpec, "owned", ix.OwnedCompanies())
+	} else {
+		logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K)
+	}
 
 	cfg := serve.Config{
 		DefaultK:      *defaultK,
@@ -149,6 +201,7 @@ func main() {
 		MaxConcurrent: *maxConc,
 		Timeout:       *reqTO,
 		CacheSize:     *cacheSize,
+		MaxBodyBytes:  *maxBody,
 		Seed:          *seed,
 		Logger:        logger,
 		Quiet:         *quiet,
@@ -165,12 +218,18 @@ func main() {
 		}
 	}
 	srv, err := serve.New(ix, model, func(context.Context) (*core.Index, *lda.Model, error) {
-		return buildState(*corpusPath, *modelPath, *seed)
+		return buildState(*corpusPath, *modelPath, *seed, part, parts)
 	}, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
+
+	handler := srv.Handler()
+	if cc := chaosFlags.Config(); cc.Enabled() {
+		logger.Warn("fault injection active", "chaos", cc.String())
+		handler = chaos.Middleware(cc, handler)
+	}
 
 	// The debug listener starts after the server is built so /debug/slo can
 	// mount alongside /debug/traces on the same mux.
@@ -193,14 +252,27 @@ func main() {
 	fmt.Printf("serving on %s\n", ln.Addr())
 	logger.Info("listening", "addr", ln.Addr().String())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Hardened listener settings: slow-header and idle connections cannot pin
+	// resources forever, and oversized headers are rejected at the HTTP layer.
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		logger.Info("shutting down", "grace", grace.String())
+		// Flip /readyz first so routers and load balancers stop sending new
+		// work, keep answering for -drain-wait, then drain connections.
+		srv.SetReady(false)
+		logger.Info("shutting down", "drain_wait", drainWait.String(), "grace", grace.String())
+		if *drainWait > 0 {
+			time.Sleep(*drainWait)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,203 @@
+// Package chaos is a deterministic, seeded fault-injection HTTP middleware:
+// it wraps a handler and injects extra latency, 5xx errors, or full
+// blackholes (requests that hang until the client gives up) according to a
+// seeded RNG, so tests and drills can prove the serving stack's robustness
+// mechanisms — hedged retries, circuit breakers, partial-result degradation
+// — against repeatable faults instead of hoping production provides them.
+//
+// Determinism contract: decisions are drawn from one seeded stream in
+// request-arrival order, so a sequential driver replays the exact same fault
+// pattern run after run. (Under concurrent load the arrival order itself is
+// scheduling-dependent; the per-request decision stream is still the same
+// multiset.) Injections are counted on the shared obs registry
+// (chaos_injected_delays_total, chaos_injected_errors_total,
+// chaos_blackholed_total) so a chaos drill is observable next to the
+// serving metrics it distorts.
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Config parameterizes the injected faults. The zero Config injects nothing
+// (Enabled reports false) and Middleware returns the handler unchanged.
+type Config struct {
+	// Seed drives the decision stream; the same seed and arrival order
+	// reproduce the same faults. Default 1.
+	Seed int64
+	// Latency is the extra delay injected into a LatencyProb fraction of
+	// requests (before the wrapped handler runs). Zero disables.
+	Latency time.Duration
+	// LatencyProb is the fraction of requests delayed; defaults to 1 when
+	// Latency is set.
+	LatencyProb float64
+	// ErrorRate is the fraction of requests answered 503 without reaching
+	// the wrapped handler.
+	ErrorRate float64
+	// Blackhole, when true, hangs every matching request until the client
+	// disconnects (or the server shuts down) — no response bytes are ever
+	// written. This is the "dead switch port" failure mode: the connection
+	// opens but nothing comes back, so only client-side deadlines and
+	// breakers can save the caller.
+	Blackhole bool
+	// PathPrefix restricts injection to request paths with this prefix
+	// (e.g. "/v1/similar" to fault one endpoint); empty matches everything.
+	PathPrefix string
+}
+
+// Enabled reports whether the config injects any fault.
+func (c Config) Enabled() bool {
+	return c.Latency > 0 || c.ErrorRate > 0 || c.Blackhole
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Latency > 0 && c.LatencyProb == 0 {
+		c.LatencyProb = 1
+	}
+	return c
+}
+
+var (
+	injectedDelays = obs.Default().Counter("chaos_injected_delays_total",
+		"requests delayed by the chaos middleware")
+	injectedErrors = obs.Default().Counter("chaos_injected_errors_total",
+		"requests answered 503 by the chaos middleware")
+	blackholed = obs.Default().Counter("chaos_blackholed_total",
+		"requests hung by the chaos middleware until the client disconnected")
+)
+
+// injector is the middleware state: one seeded stream guarded by a mutex so
+// decisions are drawn atomically in arrival order.
+type injector struct {
+	cfg  Config
+	next http.Handler
+
+	mu sync.Mutex
+	g  *rng.RNG
+}
+
+// Middleware wraps next with fault injection per cfg. A config with nothing
+// to inject returns next unchanged, so the disabled path costs nothing.
+func Middleware(cfg Config, next http.Handler) http.Handler {
+	if !cfg.Enabled() {
+		return next
+	}
+	cfg = cfg.withDefaults()
+	return &injector{cfg: cfg, next: next, g: rng.New(cfg.Seed)}
+}
+
+func (in *injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if in.cfg.PathPrefix != "" && !strings.HasPrefix(r.URL.Path, in.cfg.PathPrefix) {
+		in.next.ServeHTTP(w, r)
+		return
+	}
+	if in.cfg.Blackhole {
+		blackholed.Inc()
+		// Hold the request open, never writing a byte: the handler returns
+		// only when the client abandons the connection or the server exits.
+		// The body must be drained first — the server detects a client
+		// disconnect (and cancels r.Context()) through a background read it
+		// only starts once the request body has been consumed.
+		if r.Body != nil {
+			_, _ = io.Copy(io.Discard, r.Body)
+		}
+		<-r.Context().Done()
+		return
+	}
+	// Draw both decisions in a fixed order regardless of configuration, so
+	// enabling one fault never shifts another's stream.
+	in.mu.Lock()
+	dropErr := in.g.Bernoulli(in.cfg.ErrorRate)
+	delay := in.g.Bernoulli(in.cfg.LatencyProb) && in.cfg.Latency > 0
+	in.mu.Unlock()
+	if dropErr && in.cfg.ErrorRate > 0 {
+		injectedErrors.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"error\":\"chaos: injected failure\"}\n"))
+		return
+	}
+	if delay {
+		injectedDelays.Inc()
+		select {
+		case <-time.After(in.cfg.Latency):
+		case <-r.Context().Done():
+			return // client already gone; nothing to serve
+		}
+	}
+	in.next.ServeHTTP(w, r)
+}
+
+// Flags is the chaos flag set the serving binaries expose.
+type Flags struct {
+	Latency     time.Duration
+	LatencyProb float64
+	ErrorRate   float64
+	Blackhole   bool
+	Seed        int64
+	Path        string
+}
+
+// BindFlags registers the -chaos-* flags on fs and returns the destination
+// struct (read after fs.Parse).
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Latency, "chaos-latency", 0,
+		"inject this extra delay into a -chaos-latency-prob fraction of requests (0 disables)")
+	fs.Float64Var(&f.LatencyProb, "chaos-latency-prob", 0,
+		"fraction of requests delayed by -chaos-latency (default 1 when a latency is set)")
+	fs.Float64Var(&f.ErrorRate, "chaos-error-rate", 0,
+		"fraction of requests answered 503 before reaching the handler")
+	fs.BoolVar(&f.Blackhole, "chaos-blackhole", false,
+		"hang every request without responding (simulates a dead but connectable backend)")
+	fs.Int64Var(&f.Seed, "chaos-seed", 1, "fault-decision seed (same seed + arrival order replays the same faults)")
+	fs.StringVar(&f.Path, "chaos-path", "",
+		"inject faults only into request paths with this prefix (empty = all)")
+	return f
+}
+
+// Config converts the parsed flags into a middleware Config.
+func (f *Flags) Config() Config {
+	return Config{
+		Seed:        f.Seed,
+		Latency:     f.Latency,
+		LatencyProb: f.LatencyProb,
+		ErrorRate:   f.ErrorRate,
+		Blackhole:   f.Blackhole,
+		PathPrefix:  f.Path,
+	}
+}
+
+// String describes the active faults for startup logs.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	c = c.withDefaults()
+	var parts []string
+	if c.Blackhole {
+		parts = append(parts, "blackhole")
+	}
+	if c.Latency > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%s@%.2g", c.Latency, c.LatencyProb))
+	}
+	if c.ErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("errors=%.2g", c.ErrorRate))
+	}
+	if c.PathPrefix != "" {
+		parts = append(parts, "path="+c.PathPrefix)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"context"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+func counterValue(name string) uint64 { return obs.Default().Counter(name, "").Value() }
+
+// TestDisabledPassthrough checks the zero config is a true no-op: the same
+// handler value comes back and requests flow untouched.
+func TestDisabledPassthrough(t *testing.T) {
+	next := okHandler()
+	if got := Middleware(Config{}, next); got == nil {
+		t.Fatal("nil handler")
+	} else if _, wrapped := got.(*injector); wrapped {
+		t.Fatal("disabled config should return next unchanged, not wrap it")
+	}
+}
+
+// TestErrorRateDeterministic pins the determinism contract: the same seed
+// and arrival order produce the same injected-error pattern, and a 503 from
+// the middleware never reaches the wrapped handler.
+func TestErrorRateDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		reached := 0
+		h := Middleware(Config{Seed: seed, ErrorRate: 0.3},
+			http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				reached++
+				w.WriteHeader(http.StatusOK)
+			}))
+		codes := make([]int, 40)
+		errs := 0
+		for i := range codes {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/similar/1", nil))
+			codes[i] = rec.Code
+			if rec.Code == http.StatusServiceUnavailable {
+				errs++
+				if body := rec.Body.String(); body != "{\"error\":\"chaos: injected failure\"}\n" {
+					t.Fatalf("injected error body = %q", body)
+				}
+			}
+		}
+		if reached+errs != len(codes) {
+			t.Fatalf("handler reached %d + errors %d != %d requests", reached, errs, len(codes))
+		}
+		if errs == 0 || errs == len(codes) {
+			t.Fatalf("error-rate 0.3 over %d requests injected %d errors — not a mix", len(codes), errs)
+		}
+		return codes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, request %d: %d vs %d — decisions must replay", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLatencyInjection checks injected delay is observable and counted.
+func TestLatencyInjection(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	h := Middleware(Config{Seed: 3, Latency: delay}, okHandler())
+	before := counterValue("chaos_injected_delays_total")
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/similar/1", nil))
+	if took := time.Since(start); took < delay {
+		t.Fatalf("request took %s, want >= %s injected delay", took, delay)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delayed request status %d, want 200", rec.Code)
+	}
+	if got := counterValue("chaos_injected_delays_total"); got != before+1 {
+		t.Fatalf("chaos_injected_delays_total delta = %d, want 1", got-before)
+	}
+}
+
+// TestBlackholeHangsUntilCancel checks a blackholed request writes nothing
+// and returns only when the client context dies — the failure mode breakers
+// and hedges must survive.
+func TestBlackholeHangsUntilCancel(t *testing.T) {
+	h := Middleware(Config{Blackhole: true}, okHandler())
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/v1/similar/1", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("blackholed request returned while the client was still waiting")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed request did not return after client cancel")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("blackholed request wrote %q — must write nothing", rec.Body.String())
+	}
+}
+
+// TestPathPrefixScopesFaults checks -chaos-path confines injection to the
+// matching endpoint while others pass untouched.
+func TestPathPrefixScopesFaults(t *testing.T) {
+	h := Middleware(Config{Seed: 5, ErrorRate: 1, PathPrefix: "/v1/whitespace"}, okHandler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/similar/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-matching path got %d, want 200", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/whitespace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("matching path got %d, want injected 503", resp.StatusCode)
+	}
+}
+
+// TestFlagsRoundTrip checks BindFlags parses into the middleware Config.
+func TestFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("chaos-test", flag.ContinueOnError)
+	f := BindFlags(fs)
+	err := fs.Parse([]string{
+		"-chaos-latency", "150ms", "-chaos-latency-prob", "0.4",
+		"-chaos-error-rate", "0.1", "-chaos-seed", "42", "-chaos-path", "/v1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.Config()
+	want := Config{Seed: 42, Latency: 150 * time.Millisecond, LatencyProb: 0.4,
+		ErrorRate: 0.1, PathPrefix: "/v1"}
+	if cfg != want {
+		t.Fatalf("parsed config %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config should be enabled")
+	}
+	if s := cfg.String(); s == "" || s == "off" {
+		t.Fatalf("String() = %q for an active config", s)
+	}
+	if (Config{}).String() != "off" {
+		t.Fatal("zero config String() should be off")
+	}
+}

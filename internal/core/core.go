@@ -116,11 +116,80 @@ type Match struct {
 }
 
 // Index is the in-memory similarity index: one representation vector per
-// company (row i of reps belongs to corpus company i).
+// company (row i of reps belongs to corpus company i). An index may be
+// restricted to one partition of the corpus (SetPartition) for sharded
+// serving: the representations stay complete — so query vectors and
+// recommendation scoring remain available for any company — but the
+// candidate scans visit only the owned partition, and a scatter-gather
+// merge of every partition's answers under the package's total orders
+// reproduces the unpartitioned answer byte for byte.
 type Index struct {
 	Corpus *corpus.Corpus
 	Reps   *mat.Matrix
 	Metric Metric
+
+	part, parts int // candidate-scan partition; parts <= 1 scans everything
+}
+
+// PartitionOf maps a company id to its partition in [0, parts): FNV-1a over
+// the id's eight little-endian bytes, mod parts. The hash is fixed — never
+// change it — so the split is byte-stable across processes, platforms and
+// releases, which is what lets shard processes agree on ownership without
+// coordination. parts <= 1 maps everything to partition 0.
+func PartitionOf(id, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037) // FNV-1a 64-bit offset basis
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= 1099511628211 // FNV-1a 64-bit prime
+	}
+	return int(h % uint64(parts))
+}
+
+// SetPartition restricts the index's candidate scans to partition part of
+// parts (per PartitionOf). Call once at build time, before serving; parts of
+// 0 or 1 restores the full scan.
+func (ix *Index) SetPartition(part, parts int) error {
+	if parts <= 1 {
+		ix.part, ix.parts = 0, 0
+		return nil
+	}
+	if part < 0 || part >= parts {
+		return fmt.Errorf("core: partition %d outside [0,%d)", part, parts)
+	}
+	ix.part, ix.parts = part, parts
+	return nil
+}
+
+// Partition reports the scan restriction: the partition index and count
+// (0, 1 when unpartitioned).
+func (ix *Index) Partition() (part, parts int) {
+	if ix.parts <= 1 {
+		return 0, 1
+	}
+	return ix.part, ix.parts
+}
+
+// owns reports whether company i is a scan candidate on this index.
+func (ix *Index) owns(i int) bool {
+	return ix.parts <= 1 || PartitionOf(i, ix.parts) == ix.part
+}
+
+// OwnedCompanies counts the companies this index's candidate scans visit.
+func (ix *Index) OwnedCompanies() int {
+	if ix.parts <= 1 {
+		return ix.Corpus.N()
+	}
+	var n int
+	for i := 0; i < ix.Corpus.N(); i++ {
+		if ix.owns(i) {
+			n++
+		}
+	}
+	return n
 }
 
 // NewIndex validates shapes and builds an index.
@@ -179,11 +248,12 @@ func (ix *Index) TopKByVectorContext(ctx context.Context, query []float64, k int
 	return ix.topKByVector(ctx, query, k, f, -1)
 }
 
-// matchBetter is the total order of the candidate scans: similarity
+// MatchBetter is the total order of the candidate scans: similarity
 // descending with deterministic id tie-breaks. Being total, the top-k it
 // selects is unique, so sharded selection returns exactly what a full sort
-// would at any shard or worker count.
-func matchBetter(a, b Match) bool {
+// would at any shard or worker count. Exported so scatter-gather routers can
+// merge per-shard answers under the exact order the scans used.
+func MatchBetter(a, b Match) bool {
 	if a.Similarity != b.Similarity {
 		return a.Similarity > b.Similarity
 	}
@@ -251,10 +321,13 @@ func (h *topkHeap[T]) sorted() []T {
 	return out
 }
 
-// mergeTopK combines per-shard bounded-heap selections into the global
+// MergeTopK combines per-shard bounded-heap selections into the global
 // top-k: concatenate (at most shards*k elements), sort under the same total
-// order, truncate. Deterministic because the order is total.
-func mergeTopK[T any](shards [][]T, k int, better func(a, b T) bool) []T {
+// order, truncate. Deterministic because the order is total — which is why a
+// scatter-gather router merging per-process shard answers with this function
+// (under MatchBetter or ProspectBetter) reproduces the unsharded answer
+// exactly, regardless of response arrival order.
+func MergeTopK[T any](shards [][]T, k int, better func(a, b T) bool) []T {
 	var total int
 	for _, s := range shards {
 		total += len(s)
@@ -288,10 +361,10 @@ func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Fil
 	}
 	out := make([]shardOut, par.NumShards(n))
 	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
-		h := newTopkHeap(k, matchBetter)
+		h := newTopkHeap(k, MatchBetter)
 		var admitted, rejected uint64
 		for i := lo; i < hi; i++ {
-			if i == exclude {
+			if i == exclude || !ix.owns(i) {
 				continue
 			}
 			if !f.Admits(&ix.Corpus.Companies[i]) {
@@ -317,7 +390,7 @@ func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Fil
 		admitted += out[s].admitted
 		rejected += out[s].rejected
 	}
-	matches := mergeTopK(perShard, k, matchBetter)
+	matches := MergeTopK(perShard, k, MatchBetter)
 	sp.AttrInt("admitted", int64(admitted))
 	sp.AttrInt("filtered", int64(rejected))
 	sp.End()
@@ -363,6 +436,30 @@ func (ix *Index) RecommendFromSimilarContext(ctx context.Context, id, k int, f F
 	out := ix.recommendFromPeers(id, peers)
 	sp.AttrInt("fanout", int64(len(out)))
 	sp.End()
+	recRequests.Inc()
+	recFanout.Observe(float64(len(out)))
+	return out, nil
+}
+
+// RecommendFromPeers scores gap-based recommendations for id over an
+// explicitly supplied peer set — the shard-side half of two-phase sharded
+// recommendation, where a router first scatter-gathers the global top-k
+// peers (each shard scanning its partition) and then asks one shard to score
+// the merged set. Given the peers the unpartitioned TopK would select, the
+// result is byte-identical to RecommendFromSimilar. Served queries count
+// toward recommend_requests_total exactly like the single-process path.
+func (ix *Index) RecommendFromPeers(id int, peers []Match) ([]ProductRecommendation, error) {
+	if id < 0 || id >= ix.Corpus.N() {
+		recErrors.Inc()
+		return nil, fmt.Errorf("core: company id %d outside [0,%d)", id, ix.Corpus.N())
+	}
+	for _, p := range peers {
+		if p.CompanyID < 0 || p.CompanyID >= ix.Corpus.N() {
+			recErrors.Inc()
+			return nil, fmt.Errorf("core: peer id %d outside [0,%d)", p.CompanyID, ix.Corpus.N())
+		}
+	}
+	out := ix.recommendFromPeers(id, peers)
 	recRequests.Inc()
 	recFanout.Observe(float64(len(out)))
 	return out, nil
@@ -466,9 +563,9 @@ func (ix *Index) WhitespaceContext(ctx context.Context, clientIDs []int, k int, 
 	sp.AttrInt("candidates", int64(n))
 	shards := make([][]WhitespaceProspect, par.NumShards(n))
 	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
-		h := newTopkHeap(k, prospectBetter)
+		h := newTopkHeap(k, ProspectBetter)
 		for i := lo; i < hi; i++ {
-			if isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
+			if !ix.owns(i) || isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
 				continue
 			}
 			rowI := ix.Reps.Row(i)
@@ -489,16 +586,17 @@ func (ix *Index) WhitespaceContext(ctx context.Context, clientIDs []int, k int, 
 		sp.End()
 		return nil, err
 	}
-	out := mergeTopK(shards, k, prospectBetter)
+	out := MergeTopK(shards, k, ProspectBetter)
 	sp.End()
 	wsRequests.Inc()
 	wsLatency.Observe(time.Since(start).Seconds())
 	return out, nil
 }
 
-// prospectBetter is the total order for white-space prospects: similarity
-// descending with deterministic id tie-breaks.
-func prospectBetter(a, b WhitespaceProspect) bool {
+// ProspectBetter is the total order for white-space prospects: similarity
+// descending with deterministic id tie-breaks. Exported for scatter-gather
+// merges, like MatchBetter.
+func ProspectBetter(a, b WhitespaceProspect) bool {
 	if a.Similarity != b.Similarity {
 		return a.Similarity > b.Similarity
 	}

@@ -45,7 +45,7 @@ func TestTopKLargerThanN(t *testing.T) {
 		t.Fatalf("k>N returned %d matches, want 5", len(matches))
 	}
 	for i := 1; i < len(matches); i++ {
-		if matchBetter(matches[i], matches[i-1]) {
+		if MatchBetter(matches[i], matches[i-1]) {
 			t.Fatalf("matches out of order at %d: %+v", i, matches)
 		}
 	}
@@ -130,12 +130,12 @@ func TestTopkHeapMatchesFullSort(t *testing.T) {
 		all = append(all, Match{CompanyID: i, Similarity: float64((i * 37) % 11)})
 	}
 	for _, k := range []int{1, 2, 7, 11, 59, 60, 61, 200} {
-		h := newTopkHeap(k, matchBetter)
+		h := newTopkHeap(k, MatchBetter)
 		for _, m := range all {
 			h.push(m)
 		}
 		got := h.sorted()
-		want := mergeTopK([][]Match{append([]Match(nil), all...)}, k, matchBetter)
+		want := MergeTopK([][]Match{append([]Match(nil), all...)}, k, MatchBetter)
 		if len(got) != len(want) {
 			t.Fatalf("k=%d: %d selected, want %d", k, len(got), len(want))
 		}

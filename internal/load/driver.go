@@ -11,24 +11,36 @@ import (
 
 // sample is one completed request as the client observed it.
 type sample struct {
-	endpoint string
-	latency  time.Duration
-	status   int
-	failed   bool // transport error or status >= 400
-	traceID  string
-	warmup   bool
+	endpoint  string
+	latency   time.Duration
+	status    int
+	failed    bool // transport error or status >= 400
+	transport bool // the failure never produced an HTTP status (dial, timeout, reset)
+	partial   bool // a sharded router answered with X-Partial: true
+	traceID   string
+	warmup    bool
+}
+
+// outcome is one request's classified result: a transport failure (no HTTP
+// status at all — dial refused, timeout, connection reset) is a different
+// production signal than an HTTP error status, so the two are counted apart.
+type outcome struct {
+	status    int
+	failed    bool
+	transport bool
+	partial   bool
 }
 
 // send issues one request and drains the response. The returned status is 0
 // on a transport error.
-func send(client *http.Client, cfg Config, req Request) (int, bool) {
+func send(client *http.Client, cfg Config, req Request) outcome {
 	var body io.Reader
 	if req.Body != nil {
 		body = bytes.NewReader(req.Body)
 	}
 	hr, err := http.NewRequest(req.Method, cfg.BaseURL+req.Path, body)
 	if err != nil {
-		return 0, true
+		return outcome{failed: true, transport: true}
 	}
 	if req.Body != nil {
 		hr.Header.Set("Content-Type", "application/json")
@@ -38,11 +50,15 @@ func send(client *http.Client, cfg Config, req Request) (int, bool) {
 	}
 	resp, err := client.Do(hr)
 	if err != nil {
-		return 0, true
+		return outcome{failed: true, transport: true}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, resp.StatusCode >= 400
+	return outcome{
+		status:  resp.StatusCode,
+		failed:  resp.StatusCode >= 400,
+		partial: resp.Header.Get("X-Partial") == "true",
+	}
 }
 
 // Run replays the generator's stream against cfg.BaseURL and reports
@@ -103,14 +119,16 @@ func runOpen(ctx context.Context, gen *Generator, cfg Config, client *http.Clien
 		go func(i int, req Request, sched time.Time) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			status, failed := send(client, cfg, req)
+			out := send(client, cfg, req)
 			samples[i] = sample{
-				endpoint: req.Endpoint,
-				latency:  time.Since(sched), // from *scheduled* departure
-				status:   status,
-				failed:   failed,
-				traceID:  req.TraceID,
-				warmup:   sched.Sub(start) < cfg.Warmup,
+				endpoint:  req.Endpoint,
+				latency:   time.Since(sched), // from *scheduled* departure
+				status:    out.status,
+				failed:    out.failed,
+				transport: out.transport,
+				partial:   out.partial,
+				traceID:   req.TraceID,
+				warmup:    sched.Sub(start) < cfg.Warmup,
 			}
 		}(i, req, sched)
 	}
@@ -138,14 +156,16 @@ func runClosed(ctx context.Context, gen *Generator, cfg Config, client *http.Cli
 			for time.Now().Before(deadline) && ctx.Err() == nil {
 				req := g.Next()
 				sent := time.Now()
-				status, failed := send(client, cfg, req)
+				res := send(client, cfg, req)
 				out = append(out, sample{
-					endpoint: req.Endpoint,
-					latency:  time.Since(sent),
-					status:   status,
-					failed:   failed,
-					traceID:  req.TraceID,
-					warmup:   sent.Sub(start) < cfg.Warmup,
+					endpoint:  req.Endpoint,
+					latency:   time.Since(sent),
+					status:    res.status,
+					failed:    res.failed,
+					transport: res.transport,
+					partial:   res.partial,
+					traceID:   req.TraceID,
+					warmup:    sent.Sub(start) < cfg.Warmup,
 				})
 			}
 			perWorker[w] = out

@@ -77,6 +77,9 @@ type Config struct {
 	// header stream is generated either way so the request mix is identical
 	// with tracing on and off.
 	Trace bool
+	// Label tags the report (Report.Label) so combined benchmark files can
+	// tell runs apart, e.g. "unsharded" vs "sharded_router_3".
+	Label string
 }
 
 func (c Config) withDefaults() Config {

@@ -303,6 +303,82 @@ func TestReportShapeWarmupAndWriteFile(t *testing.T) {
 	}
 }
 
+// TestErrorSplitAndPartialCounts pins the transport/HTTP error split and the
+// partial-response counter: a stub that 500s one endpoint and marks another
+// X-Partial yields only errors_http and partial_responses; a dead base URL
+// yields only errors_transport. Errors stays the sum of both classes.
+func TestErrorSplitAndPartialCounts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/v1/recommend/"):
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+		case strings.HasPrefix(r.URL.Path, "/v1/similar/"):
+			w.Header().Set("X-Partial", "true")
+			w.Write([]byte(`{"partial":true}`))
+		default:
+			w.Write([]byte("{}"))
+		}
+	}))
+	defer srv.Close()
+	c := testCorpus()
+
+	rep, err := Run(context.Background(), NewGenerator(c, GenConfig{Seed: 11}), Config{
+		BaseURL:     srv.URL,
+		OpenLoop:    true,
+		Rate:        300,
+		Concurrency: 8,
+		Duration:    300 * time.Millisecond,
+		Label:       "stub",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "stub" {
+		t.Fatalf("label not recorded: %+v", rep)
+	}
+	tot := rep.Total
+	if tot.ErrorsTransport != 0 {
+		t.Fatalf("live stub produced transport errors: %+v", tot)
+	}
+	if tot.ErrorsHTTP == 0 || tot.ErrorsHTTP != tot.Errors {
+		t.Fatalf("HTTP errors not counted as such: %+v", tot)
+	}
+	if tot.Partial == 0 {
+		t.Fatalf("X-Partial responses not counted: %+v", tot)
+	}
+	sim := rep.Endpoints["similar"]
+	if sim.Partial != sim.Requests || sim.Errors != 0 {
+		t.Fatalf("every similar answer was partial and successful: %+v", sim)
+	}
+	rec := rep.Endpoints["recommend"]
+	if rec.ErrorsHTTP != rec.Requests || rec.ErrorsTransport != 0 || rec.Partial != 0 {
+		t.Fatalf("recommend must be all HTTP errors: %+v", rec)
+	}
+
+	// Transport class: a base URL nothing listens on. Grab a port that was
+	// just released so the dials fail fast with connection refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	rep2, err := Run(context.Background(), NewGenerator(c, GenConfig{Seed: 11, Mix: Mix{Similar: 1}}), Config{
+		BaseURL:  deadURL,
+		OpenLoop: true,
+		Rate:     200,
+		Duration: 150 * time.Millisecond,
+		Timeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot2 := rep2.Total
+	if tot2.Requests == 0 || tot2.ErrorsTransport != tot2.Requests {
+		t.Fatalf("dead server must be all transport errors: %+v", tot2)
+	}
+	if tot2.ErrorsHTTP != 0 || tot2.Errors != tot2.ErrorsTransport || tot2.Partial != 0 {
+		t.Fatalf("transport run miscounted: %+v", tot2)
+	}
+}
+
 // TestRunCancellation stops an open-loop run early and keeps the partial
 // results.
 func TestRunCancellation(t *testing.T) {

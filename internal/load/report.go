@@ -12,16 +12,25 @@ import (
 // whole run, in Report.Total). Latencies are milliseconds; quantiles are
 // exact order statistics over the measured samples, not bucket estimates.
 type EndpointStats struct {
-	Requests  int     `json:"requests"`
-	Errors    int     `json:"errors"` // transport failures + status >= 400
-	ErrorRate float64 `json:"error_rate"`
-	QPS       float64 `json:"qps"`
-	MeanMS    float64 `json:"mean_ms"`
-	P50MS     float64 `json:"p50_ms"`
-	P90MS     float64 `json:"p90_ms"`
-	P99MS     float64 `json:"p99_ms"`
-	P999MS    float64 `json:"p999_ms"`
-	MaxMS     float64 `json:"max_ms"`
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"` // transport failures + status >= 400
+	// ErrorsTransport counts requests that never produced an HTTP status
+	// (dial refused, client timeout, connection reset); ErrorsHTTP counts
+	// responses with status >= 400. The two failure modes point at different
+	// layers, so the split is always recorded: Errors = transport + HTTP.
+	ErrorsTransport int     `json:"errors_transport"`
+	ErrorsHTTP      int     `json:"errors_http"`
+	ErrorRate       float64 `json:"error_rate"`
+	// Partial counts degraded scatter-gather answers (X-Partial: true from a
+	// sharded router) — successful requests that were missing shards.
+	Partial int     `json:"partial_responses,omitempty"`
+	QPS     float64 `json:"qps"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	P999MS  float64 `json:"p999_ms"`
+	MaxMS   float64 `json:"max_ms"`
 	// SlowestTraceID names the trace of the worst measured request — paste
 	// into /debug/traces/{id} on the server's -debug-addr listener. Present
 	// only when the run propagated traceparent headers.
@@ -31,7 +40,10 @@ type EndpointStats struct {
 // Report is the BENCH_serve.json shape.
 type Report struct {
 	Benchmark string `json:"benchmark"`
-	Mode      string `json:"mode"` // open | closed
+	// Label distinguishes runs in a combined benchmark file (e.g. "unsharded"
+	// vs "sharded_router_3"); set with ibload -label.
+	Label string `json:"label,omitempty"`
+	Mode  string `json:"mode"` // open | closed
 	// TargetQPS is the open-loop arrival rate (0 in closed loop); compare
 	// with Total.QPS to see whether the server kept up.
 	TargetQPS   float64 `json:"target_qps,omitempty"`
@@ -67,6 +79,14 @@ func buildStats(samples []sample, measured time.Duration, withTrace bool) Endpoi
 	for _, s := range samples {
 		if s.failed {
 			st.Errors++
+			if s.transport {
+				st.ErrorsTransport++
+			} else {
+				st.ErrorsHTTP++
+			}
+		}
+		if s.partial {
+			st.Partial++
 		}
 		lats = append(lats, s.latency)
 		sum += s.latency
@@ -98,6 +118,7 @@ func buildReport(cfg Config, samples []sample, measured time.Duration) *Report {
 	}
 	r := &Report{
 		Benchmark:                    "ibload replay against live ibserve: client-observed latency per endpoint",
+		Label:                        cfg.Label,
 		Mode:                         mode,
 		Concurrency:                  cfg.Concurrency,
 		CoordinatedOmissionCorrected: cfg.OpenLoop,

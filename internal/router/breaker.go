@@ -1,0 +1,116 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker states, exported on the per-shard router_shard{i}_breaker_state
+// gauge so an operator can see at a glance which shard is isolated.
+const (
+	breakerClosed   = 0 // healthy: requests flow
+	breakerHalfOpen = 1 // cooling finished: exactly one probe in flight
+	breakerOpen     = 2 // tripped: requests skip the shard
+)
+
+// breaker is a per-shard circuit breaker: consecutive failures trip it open,
+// an exponentially backed-off cooldown gates a single half-open probe, and a
+// successful probe closes it again. It exists so one dead or blackholed shard
+// costs the router a handful of timed-out requests — not one timeout per
+// incoming query forever.
+type breaker struct {
+	mu        sync.Mutex
+	state     int
+	fails     int           // consecutive failures while closed
+	cooldown  time.Duration // current open interval (doubles per failed probe)
+	openUntil time.Time
+
+	threshold   int
+	baseCool    time.Duration
+	maxCool     time.Duration
+	stateMetric *obs.Gauge
+}
+
+func newBreaker(threshold int, cooldown, maxCooldown time.Duration, stateMetric *obs.Gauge) *breaker {
+	return &breaker{
+		threshold:   threshold,
+		baseCool:    cooldown,
+		maxCool:     maxCooldown,
+		cooldown:    cooldown,
+		stateMetric: stateMetric,
+	}
+}
+
+func (b *breaker) setState(s int) {
+	b.state = s
+	b.stateMetric.Set(float64(s))
+}
+
+// Allow reports whether a request may go to the shard. probe is true for the
+// single request admitted while half-open; its outcome (Success(true) /
+// Failure(true)) decides whether the breaker closes or re-opens with a
+// doubled cooldown.
+func (b *breaker) Allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false, false
+		}
+		b.setState(breakerHalfOpen)
+		return true, true
+	default: // half-open: a probe is already in flight
+		return false, false
+	}
+}
+
+// Success records a request the shard answered (any HTTP status < 500).
+func (b *breaker) Success(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe || b.state == breakerHalfOpen {
+		b.cooldown = b.baseCool
+	}
+	b.fails = 0
+	if b.state != breakerClosed {
+		// A stale non-probe success (dispatched before the trip) is still
+		// first-hand evidence the shard answers; close rather than discard it.
+		b.setState(breakerClosed)
+	}
+}
+
+// Failure records a transport error or 5xx. The probe's failure re-opens
+// with exponential backoff; while closed, the consecutive-failure counter
+// trips at threshold.
+func (b *breaker) Failure(now time.Time, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe || b.state == breakerHalfOpen {
+		b.cooldown = min(b.cooldown*2, b.maxCool)
+		b.openUntil = now.Add(b.cooldown)
+		b.setState(breakerOpen)
+		return
+	}
+	if b.state != breakerClosed {
+		return // already open; stale failures add nothing
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.fails = 0
+		b.cooldown = b.baseCool
+		b.openUntil = now.Add(b.cooldown)
+		b.setState(breakerOpen)
+	}
+}
+
+// State returns the current breaker state constant.
+func (b *breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

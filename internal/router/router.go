@@ -1,0 +1,878 @@
+// Package router is the scatter-gather front end over a set of ibserve
+// shards. Each shard runs `ibserve -shard i/n` and owns one hash partition
+// of the candidate scans (the representations are replicated, so any shard
+// can also score recommendation peers); the router fans every query out to
+// all shards, carves each shard's deadline out of the request budget (with a
+// reserve kept back for the merge), hedges stragglers after a quantile
+// delay, merges the partial top-k lists under the exact core total order —
+// so a fully healthy fan-out is byte-identical to an unsharded server — and
+// degrades to a "partial": true response naming the missing shards when some
+// of them are down instead of failing the whole query.
+//
+// Per-shard circuit breakers (consecutive-failure trip, half-open probe,
+// exponential cooldown) stop a dead shard from costing one timeout per
+// request, and a background /readyz probe loop treats a draining shard
+// exactly like one with a tripped breaker. Router metrics (fan-out latency,
+// hedges fired and won, breaker state, partial responses) report into the
+// shared obs registry next to the serve metrics, under the router_ prefix.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+var partialTotal = obs.Default().Counter("router_partial_responses_total",
+	"queries answered with partial results because at least one shard was missing")
+
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+func newEndpointMetrics(name string) endpointMetrics {
+	return endpointMetrics{
+		requests: obs.Default().Counter("router_"+name+"_requests_total",
+			name+" queries answered by the router (including partial answers)"),
+		errors: obs.Default().Counter("router_"+name+"_errors_total",
+			name+" queries the router failed (bad arguments, every shard missing, or deadline)"),
+		latency: obs.Default().Histogram("router_"+name+"_latency_seconds",
+			"end-to-end latency of answered "+name+" queries", obs.DefBuckets),
+	}
+}
+
+// Config parameterizes a Router. Zero values select the documented defaults.
+type Config struct {
+	// Shards are the base URLs of the ibserve shards, in partition order:
+	// Shards[i] must run with -shard i/len(Shards).
+	Shards []string
+	// Timeout is the whole-request budget; a timeout_ms query parameter can
+	// shrink it per request but never extend it. Default 5s.
+	Timeout time.Duration
+	// MergeReserve is the fraction of the remaining budget kept back from
+	// the shard deadline for merging and marshalling. Default 0.1.
+	MergeReserve float64
+	// HedgeQuantile places the hedge delay at this quantile of the shard's
+	// recent answered latencies; a request still unanswered after the delay
+	// gets a second identical attempt, first answer wins. Default 0.9;
+	// negative disables hedging.
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay, so an idle window (or a very fast
+	// shard) cannot make the router hedge every request. Default 20ms.
+	HedgeMin time.Duration
+	// BreakerThreshold is the consecutive shard failures that trip its
+	// breaker open. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is the first open interval; each failed half-open
+	// probe doubles it up to BreakerMaxCooldown. Defaults 500ms / 10s.
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// ProbeInterval is the cadence of the background /readyz shard probe;
+	// a not-ready shard is skipped like one with an open breaker. Default
+	// 1s; negative disables probing.
+	ProbeInterval time.Duration
+	// DefaultK mirrors the shards' default result count; DefaultPeers the
+	// recommendation peer count. They must match the shard configuration for
+	// sharded answers to be byte-identical. Defaults 10 / 25.
+	DefaultK     int
+	DefaultPeers int
+	// Logger receives access and degradation lines. Default slog.Default().
+	Logger *slog.Logger
+	// Tracer records request-scoped spans; the router joins an incoming W3C
+	// traceparent and propagates one to every shard call.
+	Tracer *trace.Tracer
+	// SLO, when non-nil, tracks rolling router SLOs under the router_ metric
+	// prefix, with /debug/slo served from Routes().
+	SLO *serve.SLOConfig
+	// Quiet suppresses access-log lines for successful requests.
+	Quiet bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MergeReserve == 0 {
+		c.MergeReserve = 0.1
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = 0.9
+	}
+	if c.HedgeMin == 0 {
+		c.HedgeMin = 20 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.BreakerMaxCooldown == 0 {
+		c.BreakerMaxCooldown = 10 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.DefaultK == 0 {
+		c.DefaultK = 10
+	}
+	if c.DefaultPeers == 0 {
+		c.DefaultPeers = 25
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Default()
+	}
+	return c
+}
+
+// Router fans queries out to the shards and merges their answers.
+type Router struct {
+	cfg     Config
+	shards  []*shard
+	client  *http.Client
+	mux     *http.ServeMux
+	slo     *serve.SLOTracker
+	ready   atomic.Bool
+	started time.Time
+
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+
+	mSimilar    endpointMetrics
+	mRecommend  endpointMetrics
+	mWhitespace endpointMetrics
+	mInfer      endpointMetrics
+}
+
+// New builds a Router over the configured shard URLs.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: no shards configured")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:         cfg,
+		client:      &http.Client{},
+		started:     time.Now(),
+		mSimilar:    newEndpointMetrics("similar"),
+		mRecommend:  newEndpointMetrics("recommend"),
+		mWhitespace: newEndpointMetrics("whitespace"),
+		mInfer:      newEndpointMetrics("infer"),
+	}
+	for i, base := range cfg.Shards {
+		base = strings.TrimRight(base, "/")
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		if _, err := url.Parse(base); err != nil {
+			return nil, fmt.Errorf("router: bad shard URL %q: %w", cfg.Shards[i], err)
+		}
+		sh := newShard(i, base)
+		sh.br = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxCooldown,
+			obs.Default().Gauge(fmt.Sprintf("router_shard%d_breaker_state", i),
+				fmt.Sprintf("breaker state of shard %d (0 closed, 1 half-open, 2 open)", i)))
+		rt.shards = append(rt.shards, sh)
+	}
+	if cfg.SLO != nil {
+		rt.slo = serve.NewSLOTracker(*cfg.SLO, "router", []string{"similar", "recommend", "whitespace", "infer"})
+	}
+	rt.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+	mux.HandleFunc("GET /v1/similar/{id}", rt.shell("similar", &rt.mSimilar, rt.handleSimilar))
+	mux.HandleFunc("GET /v1/recommend/{id}", rt.shell("recommend", &rt.mRecommend, rt.handleRecommend))
+	mux.HandleFunc("POST /v1/whitespace", rt.shell("whitespace", &rt.mWhitespace, rt.handleWhitespace))
+	mux.HandleFunc("POST /v1/infer", rt.shell("infer", &rt.mInfer, rt.handleInfer))
+	rt.mux = mux
+	if cfg.ProbeInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		rt.probeCancel = cancel
+		rt.probeDone = make(chan struct{})
+		go rt.probeLoop(ctx)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Routes returns the router's debug routes (/debug/slo when SLO tracking is
+// on) for the -debug-addr mux.
+func (rt *Router) Routes() []obs.Route { return rt.slo.Routes() }
+
+// SetReady flips /readyz, mirroring the shard-side drain protocol.
+func (rt *Router) SetReady(ok bool) { rt.ready.Store(ok) }
+
+// Close stops the probe loop and the SLO ticker.
+func (rt *Router) Close() {
+	if rt.probeCancel != nil {
+		rt.probeCancel()
+		<-rt.probeDone
+	}
+	rt.slo.Close()
+}
+
+// probeLoop polls every shard's /readyz so draining or dead shards are
+// skipped before their breaker has to learn the hard way.
+func (rt *Router) probeLoop(ctx context.Context) {
+	defer close(rt.probeDone)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var wg sync.WaitGroup
+			for _, sh := range rt.shards {
+				wg.Add(1)
+				go func(sh *shard) {
+					defer wg.Done()
+					pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeInterval)
+					defer cancel()
+					status, _, err := doRequest(pctx, rt.client, http.MethodGet, sh.base+"/readyz", nil, nil)
+					sh.ready.Store(err == nil && status == http.StatusOK)
+				}(sh)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// JSON response mirrors. These repeat the serve package's field order
+// exactly and append the degradation fields at the end with omitempty, so a
+// fully healthy fan-out marshals byte-identical to an unsharded ibserve.
+
+type matchJSON struct {
+	CompanyID  int     `json:"company_id"`
+	Name       string  `json:"name"`
+	Similarity float64 `json:"similarity"`
+}
+
+type similarResponse struct {
+	CompanyID     int         `json:"company_id"`
+	Name          string      `json:"name"`
+	K             int         `json:"k"`
+	Matches       []matchJSON `json:"matches"`
+	Partial       bool        `json:"partial,omitempty"`
+	MissingShards []int       `json:"missing_shards,omitempty"`
+}
+
+type recommendationJSON struct {
+	Category int     `json:"category"`
+	Name     string  `json:"name"`
+	Strength float64 `json:"strength"`
+	Owners   int     `json:"owners"`
+}
+
+type recommendResponse struct {
+	CompanyID       int                  `json:"company_id"`
+	Name            string               `json:"name"`
+	Peers           int                  `json:"peers"`
+	Recommendations []recommendationJSON `json:"recommendations"`
+	Partial         bool                 `json:"partial,omitempty"`
+	MissingShards   []int                `json:"missing_shards,omitempty"`
+}
+
+type prospectJSON struct {
+	CompanyID     int     `json:"company_id"`
+	Name          string  `json:"name"`
+	NearestClient int     `json:"nearest_client"`
+	Similarity    float64 `json:"similarity"`
+}
+
+type whitespaceResponse struct {
+	K             int            `json:"k"`
+	Prospects     []prospectJSON `json:"prospects"`
+	Partial       bool           `json:"partial,omitempty"`
+	MissingShards []int          `json:"missing_shards,omitempty"`
+}
+
+type inferResponse struct {
+	Theta         []float64   `json:"theta"`
+	K             int         `json:"k"`
+	Matches       []matchJSON `json:"matches"`
+	Partial       bool        `json:"partial,omitempty"`
+	MissingShards []int       `json:"missing_shards,omitempty"`
+}
+
+type internalMatch struct {
+	CompanyID  int     `json:"company_id"`
+	Similarity float64 `json:"similarity"`
+}
+
+type internalRecommendRequest struct {
+	CompanyID int             `json:"company_id"`
+	Peers     int             `json:"peers"`
+	Matches   []internalMatch `json:"matches"`
+}
+
+type shardHealthJSON struct {
+	Index   int    `json:"index"`
+	Addr    string `json:"addr"`
+	Ready   bool   `json:"ready"`
+	Breaker string `json:"breaker"`
+}
+
+type healthResponse struct {
+	Status    string            `json:"status"`
+	Shards    []shardHealthJSON `json:"shards"`
+	UptimeSec float64           `json:"uptime_seconds"`
+	Tracing   bool              `json:"tracing"`
+	SLO       *sloHealthJSON    `json:"slo,omitempty"`
+}
+
+type sloHealthJSON struct {
+	OK      bool     `json:"ok"`
+	Burning []string `json:"burning,omitempty"`
+}
+
+var breakerNames = [...]string{"closed", "half-open", "open"}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := healthResponse{
+		Status:    "ok",
+		UptimeSec: time.Since(rt.started).Seconds(),
+		Tracing:   rt.cfg.Tracer.Enabled(),
+	}
+	for _, sh := range rt.shards {
+		resp.Shards = append(resp.Shards, shardHealthJSON{
+			Index:   sh.index,
+			Addr:    sh.base,
+			Ready:   sh.ready.Load(),
+			Breaker: breakerNames[sh.br.State()],
+		})
+	}
+	if rt.slo != nil {
+		st := rt.slo.Status()
+		resp.SLO = &sloHealthJSON{OK: st.OK, Burning: st.Burning}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (rt *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !rt.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	_, _ = w.Write([]byte("{\"status\":\"ready\"}\n"))
+}
+
+// routerResponse is a shell handler's outcome: a fully rendered body (with
+// trailing newline), its status, and the degradation markers.
+type routerResponse struct {
+	status  int // 0 means 200
+	body    []byte
+	partial bool
+	missing []int
+}
+
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func statusFor(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+type shellHandler func(ctx context.Context, r *http.Request) (routerResponse, error)
+
+// shell wraps a fan-out handler with the router's request pipeline: deadline
+// budget, trace join/propagation, disjoint served/error accounting, partial
+// marking (X-Partial header + counter) and the access log line.
+func (rt *Router) shell(name string, m *endpointMetrics, h shellHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		var sp *trace.Span
+		if tp, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx, sp = rt.cfg.Tracer.StartRemote(ctx, tp, "router."+name)
+		} else {
+			ctx, sp = rt.cfg.Tracer.Start(ctx, "router."+name)
+		}
+		if sp.Active() {
+			sp.Attr("method", r.Method)
+			sp.Attr("path", r.URL.Path)
+			w.Header().Set("traceparent", trace.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+		}
+		status := http.StatusOK
+		defer func() {
+			sp.AttrInt("status", int64(status))
+			sp.End()
+			rt.slo.Record(name, status, time.Since(start))
+			rt.logRequest(r, name, status, time.Since(start), sp)
+		}()
+
+		ctx, cancel := context.WithTimeout(ctx, rt.requestTimeout(r))
+		defer cancel()
+
+		resp, err := h(ctx, r)
+		if err != nil {
+			m.errors.Inc()
+			status = statusFor(err)
+			sp.Error(err)
+			rt.writeError(w, r, status, err)
+			return
+		}
+		if resp.status == 0 {
+			resp.status = http.StatusOK
+		}
+		status = resp.status
+		if status >= 400 {
+			// A shard's client-error verdict (bad id, bad filter) passed
+			// through verbatim; it is the client's error, the router's too.
+			m.errors.Inc()
+		} else {
+			m.requests.Inc()
+			m.latency.Observe(time.Since(start).Seconds())
+		}
+		if resp.partial {
+			partialTotal.Inc()
+			w.Header().Set("X-Partial", "true")
+			sp.Attr("partial", fmt.Sprintf("%v", resp.missing))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if status != http.StatusOK {
+			w.WriteHeader(status)
+		}
+		_, _ = w.Write(resp.body)
+	}
+}
+
+func (rt *Router) requestTimeout(r *http.Request) time.Duration {
+	d := rt.cfg.Timeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.ParseFloat(v, 64); err == nil && ms > 0 {
+			if t := time.Duration(ms * float64(time.Millisecond)); t < d {
+				d = t
+			}
+		}
+	}
+	return d
+}
+
+func (rt *Router) logRequest(r *http.Request, name string, status int, dur time.Duration, sp *trace.Span) {
+	attrs := []any{
+		"endpoint", name,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"dur_ms", float64(dur.Microseconds()) / 1e3,
+	}
+	if sp.Active() {
+		attrs = append(attrs, "trace", sp.TraceID().String())
+	}
+	switch {
+	case status >= 400:
+		rt.cfg.Logger.Warn("request", attrs...)
+	case !rt.cfg.Quiet:
+		rt.cfg.Logger.Info("request", attrs...)
+	}
+	if slow := rt.cfg.Tracer.SlowThreshold(); slow > 0 && dur >= slow {
+		rt.cfg.Logger.Warn("slow query", attrs...)
+	}
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	rt.cfg.Logger.Debug("request failed", "path", r.URL.Path, "status", status, "err", err.Error())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// shardContext carves the shard deadline out of the request budget, keeping
+// MergeReserve of the remaining time back for merging and marshalling.
+func (rt *Router) shardContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	reserve := time.Duration(float64(time.Until(dl)) * rt.cfg.MergeReserve)
+	return context.WithDeadline(ctx, dl.Add(-reserve))
+}
+
+// hedgeDelay places the hedge for one shard call: the configured quantile of
+// the shard's recent answered latencies, floored at HedgeMin and capped at
+// half the remaining budget (a hedge fired later than that cannot finish).
+func (rt *Router) hedgeDelay(ctx context.Context, sh *shard) time.Duration {
+	if rt.cfg.HedgeQuantile < 0 {
+		return 0
+	}
+	d := sh.lat.Quantile(rt.cfg.HedgeQuantile)
+	if d < rt.cfg.HedgeMin {
+		d = rt.cfg.HedgeMin
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if half := time.Until(dl) / 2; d > half {
+			d = half
+		}
+	}
+	return d
+}
+
+// traceHeader builds the headers propagated to every shard call: the W3C
+// traceparent of the active span, so shard-side span trees join the router's
+// distributed trace.
+func traceHeader(sp *trace.Span, contentType string) http.Header {
+	h := http.Header{}
+	if contentType != "" {
+		h.Set("Content-Type", contentType)
+	}
+	if sp.Active() {
+		h.Set("traceparent", trace.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+	}
+	return h
+}
+
+// fanout sends one identical request to every admissible shard and gathers
+// the results in shard order. Skipped shards (open breaker, not ready) are
+// marked without a network call; answered shards feed their breaker.
+func (rt *Router) fanout(ctx context.Context, method, pathAndQuery string, body []byte, header http.Header) []shardResult {
+	sctx, cancel := rt.shardContext(ctx)
+	defer cancel()
+	results := make([]shardResult, len(rt.shards))
+	var wg sync.WaitGroup
+	now := time.Now()
+	for i, sh := range rt.shards {
+		if !sh.ready.Load() {
+			results[i] = shardResult{shard: i, skipped: true}
+			continue
+		}
+		ok, probe := sh.br.Allow(now)
+		if !ok {
+			results[i] = shardResult{shard: i, skipped: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard, probe bool) {
+			defer wg.Done()
+			res := sh.call(sctx, rt.client, method, sh.base+pathAndQuery, body, header, rt.hedgeDelay(sctx, sh))
+			if res.err != nil || res.status >= 500 {
+				sh.mFailures.Inc()
+				sh.br.Failure(time.Now(), probe)
+			} else {
+				sh.br.Success(probe)
+			}
+			results[i] = res
+		}(i, sh, probe)
+	}
+	wg.Wait()
+	return results
+}
+
+// classify splits fan-out results: shards that answered 2xx, the first
+// client-error (4xx) verdict if any, and the sorted missing-shard list.
+func classify(results []shardResult) (oks []shardResult, clientErr *shardResult, missing []int) {
+	for i := range results {
+		r := &results[i]
+		switch {
+		case r.failed():
+			missing = append(missing, r.shard)
+		case r.status >= 400:
+			if clientErr == nil {
+				clientErr = r
+			}
+		default:
+			oks = append(oks, *r)
+		}
+	}
+	sort.Ints(missing)
+	return oks, clientErr, missing
+}
+
+// scatter runs the shared fan-out prologue for the single-phase endpoints:
+// replay the request on every shard, pass a client error through verbatim,
+// fail 502 when no shard answered, otherwise hand the 2xx bodies and the
+// missing-shard list to merge (which stamps the degradation fields on the
+// merged value itself so they marshal inside the response body).
+func (rt *Router) scatter(ctx context.Context, r *http.Request, sp *trace.Span, body []byte,
+	merge func(oks []shardResult, missing []int) (any, error)) (routerResponse, error) {
+	contentType := ""
+	if body != nil {
+		contentType = "application/json"
+	}
+	results := rt.fanout(ctx, r.Method, r.URL.RequestURI(), body, traceHeader(sp, contentType))
+	oks, clientErr, missing := classify(results)
+	if clientErr != nil {
+		return routerResponse{status: clientErr.status, body: clientErr.body}, nil
+	}
+	if len(oks) == 0 {
+		return routerResponse{}, &apiError{status: http.StatusBadGateway,
+			err: fmt.Errorf("router: all %d shards unavailable (missing %v)", len(rt.shards), missing)}
+	}
+	if len(missing) > 0 {
+		rt.cfg.Logger.Warn("partial fan-out", "path", r.URL.Path, "missing", missing)
+	}
+	value, err := merge(oks, missing)
+	if err != nil {
+		return routerResponse{}, err
+	}
+	out, err := json.Marshal(value)
+	if err != nil {
+		return routerResponse{}, &apiError{status: http.StatusInternalServerError, err: err}
+	}
+	return routerResponse{body: append(out, '\n'), partial: len(missing) > 0, missing: missing}, nil
+}
+
+func matchBetterJSON(a, b matchJSON) bool {
+	return core.MatchBetter(
+		core.Match{CompanyID: a.CompanyID, Similarity: a.Similarity},
+		core.Match{CompanyID: b.CompanyID, Similarity: b.Similarity})
+}
+
+func prospectBetterJSON(a, b prospectJSON) bool {
+	return core.ProspectBetter(
+		core.WhitespaceProspect{CompanyID: a.CompanyID, NearestClient: a.NearestClient, Similarity: a.Similarity},
+		core.WhitespaceProspect{CompanyID: b.CompanyID, NearestClient: b.NearestClient, Similarity: b.Similarity})
+}
+
+func decodeShard[T any](r shardResult) (T, error) {
+	var v T
+	if err := json.Unmarshal(r.body, &v); err != nil {
+		return v, &apiError{status: http.StatusBadGateway,
+			err: fmt.Errorf("router: shard %d sent an unparseable body: %w", r.shard, err)}
+	}
+	return v, nil
+}
+
+func (rt *Router) handleSimilar(ctx context.Context, r *http.Request) (routerResponse, error) {
+	sp := trace.FromContext(ctx)
+	return rt.scatter(ctx, r, sp, nil, func(oks []shardResult, missing []int) (any, error) {
+		perShard := make([][]matchJSON, len(oks))
+		var merged similarResponse
+		for i, res := range oks {
+			v, err := decodeShard[similarResponse](res)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				merged = v
+			}
+			if v.K > merged.K {
+				merged.K = v.K
+			}
+			perShard[i] = v.Matches
+		}
+		merged.Matches = core.MergeTopK(perShard, merged.K, matchBetterJSON)
+		if merged.Matches == nil {
+			merged.Matches = []matchJSON{}
+		}
+		merged.Partial = len(missing) > 0
+		merged.MissingShards = missing
+		return merged, nil
+	})
+}
+
+func (rt *Router) handleWhitespace(ctx context.Context, r *http.Request) (routerResponse, error) {
+	sp := trace.FromContext(ctx)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return routerResponse{}, badRequest("router: reading request body: %v", err)
+	}
+	return rt.scatter(ctx, r, sp, body, func(oks []shardResult, missing []int) (any, error) {
+		perShard := make([][]prospectJSON, len(oks))
+		var merged whitespaceResponse
+		for i, res := range oks {
+			v, err := decodeShard[whitespaceResponse](res)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				merged = v
+			}
+			if v.K > merged.K {
+				merged.K = v.K
+			}
+			perShard[i] = v.Prospects
+		}
+		merged.Prospects = core.MergeTopK(perShard, merged.K, prospectBetterJSON)
+		if merged.Prospects == nil {
+			merged.Prospects = []prospectJSON{}
+		}
+		merged.Partial = len(missing) > 0
+		merged.MissingShards = missing
+		return merged, nil
+	})
+}
+
+func (rt *Router) handleInfer(ctx context.Context, r *http.Request) (routerResponse, error) {
+	sp := trace.FromContext(ctx)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return routerResponse{}, badRequest("router: reading request body: %v", err)
+	}
+	return rt.scatter(ctx, r, sp, body, func(oks []shardResult, missing []int) (any, error) {
+		perShard := make([][]matchJSON, len(oks))
+		var merged inferResponse
+		for i, res := range oks {
+			v, err := decodeShard[inferResponse](res)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				merged = v // theta is identical on every shard (full model)
+			}
+			if v.K > merged.K {
+				merged.K = v.K
+			}
+			perShard[i] = v.Matches
+		}
+		merged.Matches = core.MergeTopK(perShard, merged.K, matchBetterJSON)
+		if merged.Matches == nil {
+			merged.Matches = []matchJSON{}
+		}
+		merged.Partial = len(missing) > 0
+		merged.MissingShards = missing
+		return merged, nil
+	})
+}
+
+// handleRecommend is the two-phase sharded recommendation: recommendation
+// strengths normalize over the global peer set, so per-shard recommend
+// answers cannot be merged. Phase 1 scatters /v1/similar with k=peers and
+// merges the global peer list; phase 2 posts it to one healthy shard's
+// /internal/recommend (every shard holds the full representations) which
+// scores exactly the peers an unsharded server would have used.
+func (rt *Router) handleRecommend(ctx context.Context, r *http.Request) (routerResponse, error) {
+	sp := trace.FromContext(ctx)
+	id := r.PathValue("id")
+	if _, err := strconv.Atoi(id); err != nil {
+		return routerResponse{}, badRequest("router: company id %q is not an integer", id)
+	}
+	q := r.URL.Query()
+	peers := rt.cfg.DefaultPeers
+	if v := q.Get("peers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return routerResponse{}, badRequest("router: parameter peers=%q is not an integer", v)
+		}
+		if n != 0 { // an explicit 0 means "default", as on the shards
+			peers = n
+		}
+	}
+	// Phase 1: global top-peers peer set under the request's filters.
+	phase1 := q
+	phase1.Del("peers")
+	phase1.Del("timeout_ms")
+	phase1.Set("k", strconv.Itoa(peers))
+	path := "/v1/similar/" + id + "?" + phase1.Encode()
+	results := rt.fanout(ctx, http.MethodGet, path, nil, traceHeader(sp, ""))
+	oks, clientErr, missing := classify(results)
+	if clientErr != nil {
+		return routerResponse{status: clientErr.status, body: clientErr.body}, nil
+	}
+	if len(oks) == 0 {
+		return routerResponse{}, &apiError{status: http.StatusBadGateway,
+			err: fmt.Errorf("router: all %d shards unavailable (missing %v)", len(rt.shards), missing)}
+	}
+	perShard := make([][]matchJSON, len(oks))
+	var base similarResponse
+	for i, res := range oks {
+		v, err := decodeShard[similarResponse](res)
+		if err != nil {
+			return routerResponse{}, err
+		}
+		if i == 0 {
+			base = v
+		}
+		perShard[i] = v.Matches
+	}
+	mergedPeers := core.MergeTopK(perShard, peers, matchBetterJSON)
+
+	// Phase 2: one healthy shard scores the merged peers.
+	req := internalRecommendRequest{CompanyID: base.CompanyID, Peers: peers,
+		Matches: make([]internalMatch, len(mergedPeers))}
+	for i, m := range mergedPeers {
+		req.Matches[i] = internalMatch{CompanyID: m.CompanyID, Similarity: m.Similarity}
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return routerResponse{}, &apiError{status: http.StatusInternalServerError, err: err}
+	}
+	sctx, cancel := rt.shardContext(ctx)
+	defer cancel()
+	header := traceHeader(sp, "application/json")
+	var scored shardResult
+	scoredOK := false
+	for _, res := range oks {
+		sh := rt.shards[res.shard]
+		ok, probe := sh.br.Allow(time.Now())
+		if !ok {
+			continue
+		}
+		scored = sh.call(sctx, rt.client, http.MethodPost, sh.base+"/internal/recommend", raw, header,
+			rt.hedgeDelay(sctx, sh))
+		if scored.err != nil || scored.status >= 500 {
+			sh.mFailures.Inc()
+			sh.br.Failure(time.Now(), probe)
+			continue
+		}
+		sh.br.Success(probe)
+		scoredOK = true
+		break
+	}
+	if !scoredOK {
+		return routerResponse{}, &apiError{status: http.StatusBadGateway,
+			err: errors.New("router: no shard could score the merged peer set")}
+	}
+	if scored.status >= 400 {
+		return routerResponse{status: scored.status, body: scored.body}, nil
+	}
+	merged, err := decodeShard[recommendResponse](scored)
+	if err != nil {
+		return routerResponse{}, err
+	}
+	if merged.Recommendations == nil {
+		merged.Recommendations = []recommendationJSON{}
+	}
+	merged.Partial = len(missing) > 0
+	merged.MissingShards = missing
+	if merged.Partial {
+		rt.cfg.Logger.Warn("partial fan-out", "path", r.URL.Path, "missing", missing)
+	}
+	out, err := json.Marshal(merged)
+	if err != nil {
+		return routerResponse{}, &apiError{status: http.StatusInternalServerError, err: err}
+	}
+	return routerResponse{body: append(out, '\n'), partial: merged.Partial, missing: missing}, nil
+}

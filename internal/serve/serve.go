@@ -96,6 +96,11 @@ type Config struct {
 	// CacheSize is the LRU response-cache capacity in entries. Default 256;
 	// negative disables caching.
 	CacheSize int
+	// MaxBodyBytes caps the request bodies of the POST endpoints
+	// (/v1/whitespace, /v1/infer, /admin/reload); an oversized body fails
+	// with 413 and counts toward the endpoint's serve_*_errors_total.
+	// Default 1 MiB; negative disables the cap.
+	MaxBodyBytes int64
 	// Seed drives the fold-in inference RNG of /v1/infer. Each request uses
 	// a fresh stream seeded here, so identical requests get identical
 	// representations regardless of interleaving. Default 1.
@@ -134,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBodyBytes < 0 {
+		c.MaxBodyBytes = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -174,7 +185,8 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 	gens    atomic.Uint64 // generation counter; the live state carries its value
-	slo     *sloSet       // nil when Config.SLO is nil (SLO tracking off)
+	slo     *SLOTracker   // nil when Config.SLO is nil (SLO tracking off)
+	ready   atomic.Bool   // /readyz state; flipped false when draining begins
 
 	mSimilar    endpointMetrics
 	mRecommend  endpointMetrics
@@ -207,18 +219,44 @@ func New(ix *core.Index, model *lda.Model, load Loader, cfg Config) (*Server, er
 		mReload:     newEndpointMetrics("reload"),
 	}
 	if cfg.SLO != nil {
-		s.slo = newSLOSet(*cfg.SLO, []string{"similar", "recommend", "whitespace", "infer"})
+		s.slo = NewSLOTracker(*cfg.SLO, "serve", []string{"similar", "recommend", "whitespace", "infer"})
 	}
+	s.ready.Store(true)
 	s.cur.Store(&state{ix: ix, model: model, cache: newLRU(cfg.CacheSize), gen: s.gens.Add(1)})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/similar/{id}", s.limited("similar", &s.mSimilar, s.handleSimilar))
 	mux.HandleFunc("GET /v1/recommend/{id}", s.limited("recommend", &s.mRecommend, s.handleRecommend))
 	mux.HandleFunc("POST /v1/whitespace", s.limited("whitespace", &s.mWhitespace, s.handleWhitespace))
 	mux.HandleFunc("POST /v1/infer", s.limited("infer", &s.mInfer, s.handleInfer))
+	mux.HandleFunc("POST /internal/recommend", s.limited("recommend", &s.mRecommend, s.handleInternalRecommend))
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	s.mux = mux
 	return s, nil
+}
+
+// SetReady flips the /readyz state. Flip it to false at the start of a
+// graceful shutdown — before connection draining begins — so load balancers
+// and routers stop sending new work while in-flight requests finish; a
+// scatter-gather router treats a not-ready shard exactly like one with a
+// tripped breaker.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// Ready reports the /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// handleReady serves GET /readyz: 200 while serving, 503 once draining. It
+// is distinct from /healthz (liveness): a draining process is still alive
+// and answering in-flight queries, it just must not receive new ones.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	_, _ = w.Write([]byte("{\"status\":\"ready\"}\n"))
 }
 
 // buildInfo is resolved once: the Go toolchain, main-module version and VCS
@@ -292,6 +330,17 @@ func badRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
+// bodyError classifies a request-body decode failure: a MaxBytesReader trip
+// becomes 413 with the limit named, anything else is a plain 400.
+func bodyError(endpoint string, err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return &apiError{status: http.StatusRequestEntityTooLarge,
+			err: fmt.Errorf("serve: %s request body exceeds the %d-byte limit", endpoint, mbe.Limit)}
+	}
+	return badRequest("serve: bad %s request body: %v", endpoint, err)
+}
+
 // statusFor maps an error to its response status: explicit apiError status,
 // 504 for deadline/cancellation, else 400 (the remaining errors are core's
 // argument validation).
@@ -344,7 +393,7 @@ func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.Ha
 		defer func() {
 			sp.AttrInt("status", int64(status))
 			sp.End()
-			s.slo.record(name, status, time.Since(start))
+			s.slo.Record(name, status, time.Since(start))
 			s.logRequest(r, name, status, time.Since(start), sp)
 		}()
 
@@ -364,6 +413,14 @@ func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.Ha
 		defer func() { <-s.sem }()
 		inflight.Add(1)
 		defer inflight.Add(-1)
+
+		// Bound POST bodies before the handler decodes them: a body past the
+		// cap surfaces as *http.MaxBytesError from the JSON decoder and maps
+		// to 413 (and MaxBytesReader also closes the connection, so a huge
+		// upload stops early instead of being read to the end and discarded).
+		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
 
 		st := s.cur.Load()
 		resp, err := h(ctx, st, r)
@@ -600,6 +657,15 @@ type healthResponse struct {
 	Tracing    bool           `json:"tracing"`
 	Build      buildInfoJSON  `json:"build"`
 	SLO        *sloHealthJSON `json:"slo,omitempty"` // present only with SLO tracking on
+	// Partition is present only on a shard-mode server (ibserve -shard i/n):
+	// which slice of the corpus this process's candidate scans own.
+	Partition *partitionJSON `json:"partition,omitempty"`
+}
+
+type partitionJSON struct {
+	Index     int `json:"index"`
+	Of        int `json:"of"`
+	Companies int `json:"companies"` // companies this partition owns
 }
 
 type reloadResponse struct {
@@ -628,8 +694,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.Topics = st.model.K
 	}
 	if s.slo != nil {
-		slo := s.slo.status()
+		slo := s.slo.Status()
 		resp.SLO = &sloHealthJSON{OK: slo.OK, Burning: slo.Burning}
+	}
+	if part, parts := st.ix.Partition(); parts > 1 {
+		resp.Partition = &partitionJSON{Index: part, Of: parts, Companies: st.ix.OwnedCompanies()}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
@@ -729,7 +798,7 @@ func (s *Server) handleRecommend(ctx context.Context, st *state, r *http.Request
 func (s *Server) handleWhitespace(ctx context.Context, st *state, r *http.Request) (response, error) {
 	var req whitespaceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return response{}, badRequest("serve: bad whitespace request body: %v", err)
+		return response{}, bodyError("whitespace", err)
 	}
 	k := req.K
 	if k == 0 {
@@ -758,7 +827,7 @@ func (s *Server) handleInfer(ctx context.Context, st *state, r *http.Request) (r
 	}
 	var req inferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return response{}, badRequest("serve: bad infer request body: %v", err)
+		return response{}, bodyError("infer", err)
 	}
 	if len(req.Owned) == 0 {
 		return response{}, badRequest("serve: infer request needs a non-empty owned category set")
@@ -782,11 +851,65 @@ func (s *Server) handleInfer(ctx context.Context, st *state, r *http.Request) (r
 	return response{value: inferResponse{Theta: theta, K: k, Matches: s.matches(st, ms)}}, nil
 }
 
+// internalRecommendRequest is the body of POST /internal/recommend — the
+// shard-side half of two-phase sharded recommendation. A scatter-gather
+// router first merges the global top-k peer set from every shard's
+// /v1/similar answer, then posts it here so one shard (every shard holds the
+// full corpus and representations — only the candidate scans are
+// partitioned) scores the gap-based recommendations over the exact peers the
+// unsharded path would have used. Peers is the request's peer-count
+// parameter, echoed back so the response is byte-identical to
+// /v1/recommend/{id} on an unsharded server.
+type internalRecommendRequest struct {
+	CompanyID int             `json:"company_id"`
+	Peers     int             `json:"peers"`
+	Matches   []internalMatch `json:"matches"`
+}
+
+type internalMatch struct {
+	CompanyID  int     `json:"company_id"`
+	Similarity float64 `json:"similarity"`
+}
+
+func (s *Server) handleInternalRecommend(ctx context.Context, st *state, r *http.Request) (response, error) {
+	_ = ctx // scoring is O(peers); no candidate scan to cancel
+	var req internalRecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return response{}, bodyError("internal recommend", err)
+	}
+	peers := make([]core.Match, len(req.Matches))
+	for i, m := range req.Matches {
+		peers[i] = core.Match{CompanyID: m.CompanyID, Similarity: m.Similarity}
+	}
+	recs, err := st.ix.RecommendFromPeers(req.CompanyID, peers)
+	if err != nil {
+		return response{}, err
+	}
+	out := make([]recommendationJSON, len(recs))
+	for i, rec := range recs {
+		out[i] = recommendationJSON{
+			Category: rec.Category, Name: rec.Name,
+			Strength: rec.Strength, Owners: rec.Owners,
+		}
+	}
+	return response{
+		value: recommendResponse{
+			CompanyID:       req.CompanyID,
+			Name:            st.ix.Corpus.Companies[req.CompanyID].Name,
+			Peers:           req.Peers,
+			Recommendations: out,
+		},
+	}, nil
+}
+
 // handleReload rebuilds the serving state through the Loader and installs
 // it atomically. In-flight queries keep the generation they captured at
 // entry; new queries see the new index and an empty cache.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
 	if s.load == nil {
 		s.mReload.errors.Inc()
 		s.writeError(w, r, http.StatusNotImplemented, errors.New("serve: no loader configured"))

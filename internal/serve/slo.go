@@ -92,11 +92,11 @@ func ParseLatencyObjectives(s string) (map[string]time.Duration, error) {
 	return out, nil
 }
 
-// sloTracker is the rolling state of one endpoint: a windowed latency
-// histogram (registered as serve_<name>_latency_window_seconds so the JSON
-// snapshot exposes the sliding quantiles) and windowed request/error
+// sloEndpoint is the rolling state of one endpoint: a windowed latency
+// histogram (registered as <prefix>_<name>_latency_window_seconds so the
+// JSON snapshot exposes the sliding quantiles) and windowed request/error
 // counters feeding the error-budget math.
-type sloTracker struct {
+type sloEndpoint struct {
 	name       string
 	latencyObj time.Duration
 	latency    *obs.WindowedHistogram
@@ -104,33 +104,41 @@ type sloTracker struct {
 	errors     *obs.WindowedCounter
 }
 
-// sloSet owns the per-endpoint trackers and the shared rotation ticker.
-type sloSet struct {
+// SLOTracker owns per-endpoint rolling SLO state and the shared rotation
+// ticker. It is the reusable half of the serving SLO layer: internal/serve
+// feeds it from the request shell, and a scatter-gather router (or any other
+// front end) can construct its own under a different metric prefix and mount
+// its /debug/slo route on the shared debug listener. A nil *SLOTracker is
+// inert: Record, Close and Routes are no-ops.
+type SLOTracker struct {
 	cfg      SLOConfig
 	started  time.Time
 	order    []string
-	trackers map[string]*sloTracker
+	trackers map[string]*sloEndpoint
 	stop     func()
 }
 
-// newSLOSet builds trackers for the given endpoints and starts one ticker
-// rotating every tracker each Window/Buckets. The caller must invoke stop
-// (via Server.Close) to release the ticker goroutine.
-func newSLOSet(cfg SLOConfig, endpoints []string) *sloSet {
+// NewSLOTracker builds trackers for the given endpoints and starts one
+// ticker rotating every tracker each Window/Buckets. The windowed latency
+// histograms register as <prefix>_<endpoint>_latency_window_seconds, so two
+// trackers in one process (e.g. a router and an embedded shard in tests)
+// must use distinct prefixes. The caller must Close the tracker to release
+// the ticker goroutine.
+func NewSLOTracker(cfg SLOConfig, prefix string, endpoints []string) *SLOTracker {
 	cfg = cfg.withDefaults()
-	set := &sloSet{
+	set := &SLOTracker{
 		cfg:      cfg,
 		started:  time.Now(),
 		order:    append([]string(nil), endpoints...),
-		trackers: make(map[string]*sloTracker, len(endpoints)),
+		trackers: make(map[string]*sloEndpoint, len(endpoints)),
 	}
 	rotators := make([]obs.Rotator, 0, 3*len(endpoints))
 	for _, name := range endpoints {
-		tr := &sloTracker{
+		tr := &sloEndpoint{
 			name:       name,
 			latencyObj: cfg.latencyObjective(name),
 			latency: obs.Default().WindowedHistogram(
-				"serve_"+name+"_latency_window_seconds",
+				prefix+"_"+name+"_latency_window_seconds",
 				"rolling-window latency of served "+name+" queries (SLO evaluation window)",
 				obs.DefBuckets, cfg.Buckets),
 			requests: obs.NewWindowedCounter(cfg.Buckets),
@@ -143,13 +151,13 @@ func newSLOSet(cfg SLOConfig, endpoints []string) *sloSet {
 	return set
 }
 
-// record folds one finished request into the endpoint's rolling window:
+// Record folds one finished request into the endpoint's rolling window:
 // every request counts toward availability, server errors (status >= 500 —
 // saturation, deadline, internal failure) consume error budget, and latency
 // is observed for answered requests only (status < 400) so client mistakes
-// cannot dilute the latency distribution. Nil sloSet (SLOs off) is a no-op,
+// cannot dilute the latency distribution. Nil tracker (SLOs off) is a no-op,
 // keeping the disabled path free of metric deltas.
-func (s *sloSet) record(endpoint string, status int, dur time.Duration) {
+func (s *SLOTracker) Record(endpoint string, status int, dur time.Duration) {
 	if s == nil {
 		return
 	}
@@ -166,8 +174,8 @@ func (s *sloSet) record(endpoint string, status int, dur time.Duration) {
 	}
 }
 
-// close stops the rotation ticker. Safe on nil and safe to call twice.
-func (s *sloSet) close() {
+// Close stops the rotation ticker. Safe on nil and safe to call twice.
+func (s *SLOTracker) Close() {
 	if s != nil && s.stop != nil {
 		s.stop()
 	}
@@ -211,8 +219,8 @@ type SLOStatus struct {
 	Endpoints    []SLOEndpointStatus `json:"endpoints"`
 }
 
-// status evaluates every tracker against its objectives right now.
-func (s *sloSet) status() SLOStatus {
+// Status evaluates every tracker against its objectives right now.
+func (s *SLOTracker) Status() SLOStatus {
 	out := SLOStatus{
 		WindowSec:    s.cfg.Window.Seconds(),
 		Buckets:      s.cfg.Buckets,
@@ -274,8 +282,8 @@ type sloHealthJSON struct {
 
 // handleSLO serves GET /debug/slo: the JSON evaluation by default, or an
 // aligned human-readable table with ?format=text.
-func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
-	st := s.slo.status()
+func (s *SLOTracker) handleSLO(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeSLOText(w, st)
@@ -312,19 +320,24 @@ func writeSLOText(w http.ResponseWriter, st SLOStatus) {
 	}
 }
 
-// SLORoutes returns the /debug/slo route for the -debug-addr mux, or nothing
-// when SLO tracking is off — the debug listener's route set is unchanged on
+// Routes returns the tracker's /debug/slo route for a -debug-addr mux, or
+// nothing on a nil tracker — the debug listener's route set is unchanged on
 // the disabled path.
-func (s *Server) SLORoutes() []obs.Route {
-	if s.slo == nil {
+func (s *SLOTracker) Routes() []obs.Route {
+	if s == nil {
 		return nil
 	}
 	return []obs.Route{{Pattern: "GET /debug/slo", Handler: http.HandlerFunc(s.handleSLO)}}
 }
 
+// SLORoutes returns the /debug/slo route for the -debug-addr mux, or nothing
+// when SLO tracking is off — the debug listener's route set is unchanged on
+// the disabled path.
+func (s *Server) SLORoutes() []obs.Route { return s.slo.Routes() }
+
 // Close releases the server's background resources (the SLO rotation
 // ticker). Safe to call more than once; a server built without SLOs has
 // nothing to release.
 func (s *Server) Close() {
-	s.slo.close()
+	s.slo.Close()
 }

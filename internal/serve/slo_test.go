@@ -89,7 +89,7 @@ func TestSLOStatusAndDebugEndpoint(t *testing.T) {
 		}
 	}()
 
-	tsSLO := httptest.NewServer(http.HandlerFunc(s.handleSLO))
+	tsSLO := httptest.NewServer(http.HandlerFunc(s.slo.handleSLO))
 	defer tsSLO.Close()
 	var st SLOStatus
 	if resp := getJSON(t, tsSLO, "/debug/slo", &st); resp.StatusCode != http.StatusOK {
