@@ -76,6 +76,7 @@ func main() {
 		grace        = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
 		drainWait    = flag.Duration("drain-wait", 0, "after SIGTERM, keep serving this long with /readyz at 503 before draining")
 		quiet        = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
+		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body cap on POST endpoints; oversized bodies get 413 (negative disables)")
 
 		sloOn     = flag.Bool("slo", false, "track rolling-window router SLOs and serve GET /debug/slo on -debug-addr")
 		sloWindow = flag.Duration("slo-window", serve.DefaultSLOWindow, "rolling SLO evaluation window")
@@ -112,6 +113,7 @@ func main() {
 		DefaultPeers:       *peers,
 		Logger:             logger,
 		Quiet:              *quiet,
+		MaxBodyBytes:       *maxBody,
 	}
 	if *sloOn {
 		objectives, err := serve.ParseLatencyObjectives(*sloLat)

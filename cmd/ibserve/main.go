@@ -110,34 +110,39 @@ func parseShard(s string) (part, parts int, err error) {
 // /admin/reload loader, so a reload with unchanged files reproduces the
 // startup state bit for bit (the representation RNG is re-seeded identically
 // each load, and the partition is re-applied).
-func buildState(corpusPath, modelPath string, seed int64, part, parts int) (*core.Index, *lda.Model, error) {
+//
+// The model goes through lda.LoadFile: an IBSNAP v2 snapshot is mmapped and
+// phi aliases the mapping (no payload decode, no heap copy), a v1 gob
+// snapshot takes the legacy buffered decode. The returned generation's
+// Close releases the mapping; serve runs it only after the generation has
+// been swapped out and the last in-flight request against it finished.
+func buildState(corpusPath, modelPath string, seed int64, part, parts int) (serve.Loaded, error) {
 	c, err := corpus.LoadFile(corpusPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("loading corpus: %w", err)
+		return serve.Loaded{}, fmt.Errorf("loading corpus: %w", err)
 	}
-	f, err := os.Open(modelPath)
+	m, closeModel, err := lda.LoadFile(modelPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("loading model: %w", err)
+		return serve.Loaded{}, fmt.Errorf("loading model %s: %w", modelPath, err)
 	}
-	defer f.Close()
-	m, err := lda.Load(f)
-	if err != nil {
-		return nil, nil, fmt.Errorf("loading model %s: %w", modelPath, err)
+	fail := func(err error) (serve.Loaded, error) {
+		_ = closeModel()
+		return serve.Loaded{}, err
 	}
 	if c.M() != m.V {
-		return nil, nil, fmt.Errorf("corpus has %d categories, model %d", c.M(), m.V)
+		return fail(fmt.Errorf("corpus has %d categories, model %d", c.M(), m.V))
 	}
 	reps := m.Representations(c.Sets(), rng.New(seed))
 	ix, err := core.NewIndex(c, reps, core.Cosine)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if parts > 1 {
 		if err := ix.SetPartition(part, parts); err != nil {
-			return nil, nil, err
+			return fail(err)
 		}
 	}
-	return ix, m, nil
+	return serve.Loaded{Index: ix, Model: m, Close: closeModel}, nil
 }
 
 func main() {
@@ -184,10 +189,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ix, model, err := buildState(*corpusPath, *modelPath, *seed, part, parts)
+	loaded, err := buildState(*corpusPath, *modelPath, *seed, part, parts)
 	if err != nil {
 		fatal(err)
 	}
+	ix, model := loaded.Index, loaded.Model
 	if parts > 1 {
 		logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K,
 			"shard", *shardSpec, "owned", ix.OwnedCompanies())
@@ -217,7 +223,7 @@ func main() {
 			Latency:      objectives,
 		}
 	}
-	srv, err := serve.New(ix, model, func(context.Context) (*core.Index, *lda.Model, error) {
+	srv, err := serve.New(loaded, func(context.Context) (serve.Loaded, error) {
 		return buildState(*corpusPath, *modelPath, *seed, part, parts)
 	}, cfg)
 	if err != nil {

@@ -623,9 +623,10 @@ type gobModel struct {
 	InferIters  int
 }
 
-// Save serializes the model into a checksummed snapshot container of kind
-// KindModel.
-func (m *Model) Save(w io.Writer) error {
+// SaveV1 serializes the model into the legacy v1 (gob payload) snapshot
+// container of kind KindModel. New writes should prefer Save (the v2 flat
+// container); SaveV1 exists for fleets still running v1-only readers.
+func (m *Model) SaveV1(w io.Writer) error {
 	return snapshot.Write(w, KindModel, func(w io.Writer) error {
 		return gob.NewEncoder(w).Encode(gobModel{
 			K: m.K, V: m.V, Alpha: m.Alpha, Beta: m.Beta,
@@ -634,10 +635,10 @@ func (m *Model) Save(w io.Writer) error {
 	})
 }
 
-// Load deserializes a model written by Save. Truncated, bit-flipped and
+// loadV1 deserializes a model written by SaveV1. Truncated, bit-flipped and
 // wrong-kind files fail the container's integrity checks before any gob
 // decoding runs.
-func Load(r io.Reader) (*Model, error) {
+func loadV1(r io.Reader) (*Model, error) {
 	var g gobModel
 	if err := snapshot.Read(r, KindModel, func(r io.Reader) error {
 		return gob.NewDecoder(r).Decode(&g)

@@ -2,15 +2,22 @@ package load
 
 import (
 	"encoding/json"
-	"os"
-	"path/filepath"
+	"io"
+	"math"
 	"sort"
 	"time"
+
+	"repro/internal/snapshot"
 )
 
 // EndpointStats is the client-observed result for one endpoint (or the
 // whole run, in Report.Total). Latencies are milliseconds; quantiles are
 // exact order statistics over the measured samples, not bucket estimates.
+// Quantiles use ceil-based nearest-rank (the smallest sample ≥ q of the
+// distribution), so tail figures never under-report: p99 of 500 samples is
+// the 495th order statistic, not the 494th as the earlier floor-indexed
+// reports recorded. BENCH_serve.json files written before this change can
+// read one rank lower on P99MS/P999MS.
 type EndpointStats struct {
 	Requests int `json:"requests"`
 	Errors   int `json:"errors"` // transport failures + status >= 400
@@ -58,13 +65,22 @@ type Report struct {
 	Endpoints                    map[string]EndpointStats `json:"endpoints"`
 }
 
-// quantileMS returns the q-quantile of sorted latencies in milliseconds
-// (nearest-rank with interpolation-free indexing; exact for the sample set).
+// quantileMS returns the q-quantile of sorted latencies in milliseconds by
+// ceil-based nearest-rank: the smallest sample such that at least q of the
+// measured distribution is ≤ it. Floor indexing here under-reported tails —
+// p999 over 500 samples floor-indexed to sample 498 of 500, silently
+// discarding the worst observed latency.
 func quantileMS(sorted []time.Duration, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return float64(sorted[i]) / float64(time.Millisecond)
 }
 
@@ -146,32 +162,16 @@ func buildReport(cfg Config, samples []sample, measured time.Duration) *Report {
 	return r
 }
 
-// WriteFile writes the report as indented JSON, atomically (temp file, fsync,
-// rename — the repo's crash-safe write discipline for BENCH_*.json).
-func (r *Report) WriteFile(path string) (err error) {
+// WriteFile writes the report as indented JSON through snapshot.Atomic —
+// the repo's single crash-safe write discipline (temp file, fsync, rename,
+// world-readable install mode) for BENCH_*.json.
+func (r *Report) WriteFile(path string) error {
 	raw, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if _, err = f.Write(append(raw, '\n')); err != nil {
-		return err
-	}
-	if err = f.Sync(); err != nil {
-		return err
-	}
-	if err = f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return snapshot.Atomic(path, func(w io.Writer) error {
+		_, werr := w.Write(append(raw, '\n'))
+		return werr
+	})
 }

@@ -13,9 +13,49 @@ import (
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
+//
+// A Matrix may be frozen: its Data then aliases read-only memory (typically
+// an IBSNAP v2 mmap, where a write would fault with SIGSEGV on the
+// PROT_READ mapping) and the in-place mutators panic with a clear message
+// instead. Training and other writers call Mutable to get a private copy —
+// copy-on-train, so the zero-copy serving path stays safe.
 type Matrix struct {
 	Rows, Cols int
 	Data       []float64 // len == Rows*Cols, row-major
+	frozen     bool      // unexported: ignored by gob, never serialized
+}
+
+// FrozenFromSlice wraps data like FromSlice and marks the matrix frozen.
+// Use for matrices aliasing read-only memory (mmap-backed model sections).
+func FrozenFromSlice(rows, cols int, data []float64) *Matrix {
+	m := FromSlice(rows, cols, data)
+	m.frozen = true
+	return m
+}
+
+// Freeze marks m read-only: subsequent in-place mutators panic. Freezing is
+// irreversible on this header; use Mutable for a writable copy.
+func (m *Matrix) Freeze() { m.frozen = true }
+
+// Frozen reports whether m rejects in-place mutation.
+func (m *Matrix) Frozen() bool { return m.frozen }
+
+// Mutable returns m if it is writable, or a deep writable copy if frozen.
+// Callers that might hold an mmap-aliased matrix (anything loaded through
+// the v2 snapshot path) must route writes through Mutable.
+func (m *Matrix) Mutable() *Matrix {
+	if !m.frozen {
+		return m
+	}
+	return m.Clone()
+}
+
+// mutable panics when m is frozen; every in-place mutator calls it first so
+// a write to an mmap-backed matrix fails loudly instead of faulting.
+func (m *Matrix) mutable(op string) {
+	if m.frozen {
+		panic("mat: " + op + " on frozen matrix (mmap-backed? use Mutable() for a writable copy)")
+	}
 }
 
 // New returns a zero-valued Rows×Cols matrix.
@@ -47,9 +87,15 @@ func Identity(n int) *Matrix {
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
 // Set assigns the element at row i, column j.
-func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *Matrix) Set(i, j int, v float64) {
+	m.mutable("Set")
+	m.Data[i*m.Cols+j] = v
+}
 
-// Row returns a mutable view of row i (no copy).
+// Row returns a view of row i (no copy). The view is writable Go-wise even
+// on a frozen matrix — it is the caller's contract not to write through
+// views of frozen matrices (reads are the serving hot path and cannot
+// afford a per-row branch; a write to an mmap-backed row faults).
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Col returns a copy of column j.
@@ -70,6 +116,7 @@ func (m *Matrix) Clone() *Matrix {
 
 // CopyFrom copies src into m. Dimensions must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mutable("CopyFrom")
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic("mat: CopyFrom dimension mismatch")
 	}
@@ -78,6 +125,7 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 
 // Zero sets every element of m to zero.
 func (m *Matrix) Zero() {
+	m.mutable("Zero")
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
@@ -85,6 +133,7 @@ func (m *Matrix) Zero() {
 
 // Fill sets every element of m to v.
 func (m *Matrix) Fill(v float64) {
+	m.mutable("Fill")
 	for i := range m.Data {
 		m.Data[i] = v
 	}
@@ -92,6 +141,7 @@ func (m *Matrix) Fill(v float64) {
 
 // Scale multiplies every element of m by s, in place.
 func (m *Matrix) Scale(s float64) {
+	m.mutable("Scale")
 	for i := range m.Data {
 		m.Data[i] *= s
 	}
@@ -99,6 +149,7 @@ func (m *Matrix) Scale(s float64) {
 
 // AddInPlace adds b to m element-wise, in place.
 func (m *Matrix) AddInPlace(b *Matrix) {
+	m.mutable("AddInPlace")
 	if m.Rows != b.Rows || m.Cols != b.Cols {
 		panic("mat: AddInPlace dimension mismatch")
 	}
@@ -109,6 +160,7 @@ func (m *Matrix) AddInPlace(b *Matrix) {
 
 // SubInPlace subtracts b from m element-wise, in place.
 func (m *Matrix) SubInPlace(b *Matrix) {
+	m.mutable("SubInPlace")
 	if m.Rows != b.Rows || m.Cols != b.Cols {
 		panic("mat: SubInPlace dimension mismatch")
 	}
@@ -119,6 +171,7 @@ func (m *Matrix) SubInPlace(b *Matrix) {
 
 // AxpyInPlace performs m += alpha*b element-wise.
 func (m *Matrix) AxpyInPlace(alpha float64, b *Matrix) {
+	m.mutable("AxpyInPlace")
 	if m.Rows != b.Rows || m.Cols != b.Cols {
 		panic("mat: AxpyInPlace dimension mismatch")
 	}
@@ -239,6 +292,7 @@ func OuterAccum(dst *Matrix, alpha float64, x, y []float64) {
 
 // Symmetrize replaces m with (m + mᵀ)/2. m must be square.
 func (m *Matrix) Symmetrize() {
+	m.mutable("Symmetrize")
 	if m.Rows != m.Cols {
 		panic("mat: Symmetrize on non-square matrix")
 	}

@@ -102,6 +102,10 @@ type Config struct {
 	// SLO, when non-nil, tracks rolling router SLOs under the router_ metric
 	// prefix, with /debug/slo served from Routes().
 	SLO *serve.SLOConfig
+	// MaxBodyBytes caps request bodies on the POST endpoints; an oversized
+	// body gets 413. Default 1 MiB (matching ibserve); negative disables the
+	// cap.
+	MaxBodyBytes int64
 	// Quiet suppresses access-log lines for successful requests.
 	Quiet bool
 }
@@ -142,6 +146,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tracer == nil {
 		c.Tracer = trace.Default()
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBodyBytes < 0 {
+		c.MaxBodyBytes = 0
 	}
 	return c
 }
@@ -404,6 +414,18 @@ func badRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
+// bodyError classifies a request-body read failure: a MaxBytesReader trip is
+// the client sending too much (413, naming the cap), anything else a plain
+// bad request.
+func bodyError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return &apiError{status: http.StatusRequestEntityTooLarge,
+			err: fmt.Errorf("router: request body exceeds %d bytes", mbe.Limit)}
+	}
+	return badRequest("router: reading request body: %v", err)
+}
+
 func statusFor(err error) int {
 	var ae *apiError
 	if errors.As(err, &ae) {
@@ -446,6 +468,9 @@ func (rt *Router) shell(name string, m *endpointMetrics, h shellHandler) http.Ha
 		ctx, cancel := context.WithTimeout(ctx, rt.requestTimeout(r))
 		defer cancel()
 
+		if r.Body != nil && rt.cfg.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+		}
 		resp, err := h(ctx, r)
 		if err != nil {
 			m.errors.Inc()
@@ -707,7 +732,7 @@ func (rt *Router) handleWhitespace(ctx context.Context, r *http.Request) (router
 	sp := trace.FromContext(ctx)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return routerResponse{}, badRequest("router: reading request body: %v", err)
+		return routerResponse{}, bodyError(err)
 	}
 	return rt.scatter(ctx, r, sp, body, func(oks []shardResult, missing []int) (any, error) {
 		perShard := make([][]prospectJSON, len(oks))
@@ -739,7 +764,7 @@ func (rt *Router) handleInfer(ctx context.Context, r *http.Request) (routerRespo
 	sp := trace.FromContext(ctx)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return routerResponse{}, badRequest("router: reading request body: %v", err)
+		return routerResponse{}, bodyError(err)
 	}
 	return rt.scatter(ctx, r, sp, body, func(oks []shardResult, missing []int) (any, error) {
 		perShard := make([][]matchJSON, len(oks))

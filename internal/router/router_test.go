@@ -73,7 +73,7 @@ func newShardServer(t *testing.T, part, parts int, wrap func(http.Handler) http.
 			t.Fatal(err)
 		}
 	}
-	s, err := serve.New(ix, model, nil, serve.Config{Quiet: true})
+	s, err := serve.New(serve.Loaded{Index: ix, Model: model}, nil, serve.Config{Quiet: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -572,5 +572,40 @@ func TestMergeTruncation(t *testing.T) {
 	}
 	if sim.K != 7 || len(sim.Matches) != 7 {
 		t.Fatalf("k=7 merge returned k=%d with %d matches", sim.K, len(sim.Matches))
+	}
+}
+
+// TestBodyCapReturns413 pins the request-body cap: an oversized POST body is
+// rejected with 413 (counted as an endpoint error) before any shard fan-out,
+// while an in-bounds body on the same router still answers.
+func TestBodyCapReturns413(t *testing.T) {
+	_, routed := newCluster(t, 2, Config{MaxBodyBytes: 256}, nil)
+
+	before := counterValue("router_whitespace_errors_total")
+	big := `{"clients":[1],"pad":"` + strings.Repeat("x", 1024) + `"}`
+	resp, body := post(t, routed.URL, "/v1/whitespace", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized whitespace body: status %d %q, want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "256") {
+		t.Errorf("413 error body %q does not name the cap", body)
+	}
+	if got := counterValue("router_whitespace_errors_total") - before; got != 1 {
+		t.Errorf("router_whitespace_errors_total rose by %d, want 1", got)
+	}
+
+	beforeInfer := counterValue("router_infer_errors_total")
+	resp, _ = post(t, routed.URL, "/v1/infer", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized infer body: status %d, want 413", resp.StatusCode)
+	}
+	if got := counterValue("router_infer_errors_total") - beforeInfer; got != 1 {
+		t.Errorf("router_infer_errors_total rose by %d, want 1", got)
+	}
+
+	// An in-bounds body on the same router still fans out and answers.
+	resp, body = post(t, routed.URL, "/v1/whitespace", `{"clients":[1,5],"k":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bounds whitespace body: status %d %q", resp.StatusCode, body)
 	}
 }

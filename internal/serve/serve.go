@@ -158,21 +158,84 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Loaded is one complete serving generation as produced by a Loader: the
+// index, the optional model behind /v1/infer, and an optional Close that
+// releases whatever backs their memory — for an IBSNAP v2 model that is the
+// munmap of the mapping the matrices alias. Close runs only after the last
+// in-flight request against the generation finishes (see state.release);
+// leave it nil for heap-resident generations.
+type Loaded struct {
+	Index *core.Index
+	Model *lda.Model
+	Close func() error
+}
+
 // Loader rebuilds the serving state from the backing store; /admin/reload
 // invokes it and atomically installs the result. The model may be nil when
 // the deployment does not serve /v1/infer.
-type Loader func(ctx context.Context) (*core.Index, *lda.Model, error)
+type Loader func(ctx context.Context) (Loaded, error)
+
+var generationCloseErrors = obs.Default().Counter("serve_generation_close_errors_total",
+	"serving generations whose Close (munmap) failed on release")
 
 // state is one immutable serving generation: queries load it once at entry
 // and keep using it even if a reload swaps the pointer mid-request, so hot
 // reloads never disturb in-flight work. gen numbers generations from 1 so
 // access logs and /healthz can attribute a response to the reload that
 // produced its index.
+//
+// A generation is refcounted because its matrices may alias an mmap: refs
+// starts at 1 (the reference held by Server.cur), every request holds one
+// for its duration, and the close func (munmap) runs exactly when the count
+// hits zero — after a reload swapped the generation out AND the last
+// in-flight request against it finished.
 type state struct {
 	ix    *core.Index
 	model *lda.Model
 	cache *lru
 	gen   uint64
+	refs  atomic.Int64
+	close func() error // nil for heap-resident generations
+}
+
+// acquire takes a reference, failing if the generation is already dead
+// (refs hit zero — its mapping may be unmapped). The CAS loop is what makes
+// the load-then-acquire window in Server.current safe: an increment from
+// zero is impossible, so a request can never resurrect a generation whose
+// munmap already ran.
+func (st *state) acquire() bool {
+	for {
+		n := st.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if st.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference and closes the generation's backing (munmap)
+// when the last reference goes. Close errors cannot be surfaced to any
+// request — the generation is already gone — so they count in a metric.
+func (st *state) release() {
+	if st.refs.Add(-1) == 0 && st.close != nil {
+		if err := st.close(); err != nil {
+			generationCloseErrors.Inc()
+		}
+	}
+}
+
+// current returns the live generation with a reference held; the caller
+// must release() it. The retry terminates because a failed acquire means a
+// reload both swapped cur and dropped the old generation's birth reference
+// in between — the next Load observes the new pointer.
+func (s *Server) current() *state {
+	for {
+		if st := s.cur.Load(); st.acquire() {
+			return st
+		}
+	}
 }
 
 // Server answers similarity, recommendation, white-space and inference
@@ -187,6 +250,7 @@ type Server struct {
 	gens    atomic.Uint64 // generation counter; the live state carries its value
 	slo     *SLOTracker   // nil when Config.SLO is nil (SLO tracking off)
 	ready   atomic.Bool   // /readyz state; flipped false when draining begins
+	closed  atomic.Bool   // Close ran; guards the current generation's release
 
 	mSimilar    endpointMetrics
 	mRecommend  endpointMetrics
@@ -195,10 +259,12 @@ type Server struct {
 	mReload     endpointMetrics
 }
 
-// New builds a Server over an already-constructed index. model may be nil
-// (then /v1/infer answers 501); load may be nil (then /admin/reload answers
-// 501).
-func New(ix *core.Index, model *lda.Model, load Loader, cfg Config) (*Server, error) {
+// New builds a Server over an already-loaded generation. init.Model may be
+// nil (then /v1/infer answers 501); load may be nil (then /admin/reload
+// answers 501). init.Close, when set, runs once the initial generation has
+// been swapped out by a reload and drained.
+func New(init Loaded, load Loader, cfg Config) (*Server, error) {
+	ix, model := init.Index, init.Model
 	if ix == nil {
 		return nil, errors.New("serve: nil index")
 	}
@@ -222,7 +288,9 @@ func New(ix *core.Index, model *lda.Model, load Loader, cfg Config) (*Server, er
 		s.slo = NewSLOTracker(*cfg.SLO, "serve", []string{"similar", "recommend", "whitespace", "infer"})
 	}
 	s.ready.Store(true)
-	s.cur.Store(&state{ix: ix, model: model, cache: newLRU(cfg.CacheSize), gen: s.gens.Add(1)})
+	first := &state{ix: ix, model: model, cache: newLRU(cfg.CacheSize), gen: s.gens.Add(1), close: init.Close}
+	first.refs.Store(1)
+	s.cur.Store(first)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -422,7 +490,10 @@ func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.Ha
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 
-		st := s.cur.Load()
+		// Hold a reference on the generation for the whole request: a reload
+		// swapping it out must not munmap its matrices under our feet.
+		st := s.current()
+		defer st.release()
 		resp, err := h(ctx, st, r)
 		if err != nil {
 			m.errors.Inc()
@@ -915,19 +986,28 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusNotImplemented, errors.New("serve: no loader configured"))
 		return
 	}
-	ix, model, err := s.load(r.Context())
+	loaded, err := s.load(r.Context())
 	if err != nil {
 		s.mReload.errors.Inc()
 		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: reload failed: %w", err))
 		return
 	}
+	ix, model := loaded.Index, loaded.Model
 	if err := checkState(ix, model); err != nil {
+		if loaded.Close != nil {
+			_ = loaded.Close()
+		}
 		s.mReload.errors.Inc()
 		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: reload rejected: %w", err))
 		return
 	}
-	next := &state{ix: ix, model: model, cache: newLRU(s.cfg.CacheSize), gen: s.gens.Add(1)}
+	next := &state{ix: ix, model: model, cache: newLRU(s.cfg.CacheSize), gen: s.gens.Add(1), close: loaded.Close}
+	next.refs.Store(1)
 	old := s.cur.Swap(next)
+	// Drop the old generation's birth reference. Its backing (an mmap, for
+	// v2 models) is released only when the last in-flight request against it
+	// finishes — possibly right here, if none are running.
+	old.release()
 	reloadsTotal.Inc()
 	s.mReload.requests.Inc()
 	s.mReload.latency.Observe(time.Since(start).Seconds())

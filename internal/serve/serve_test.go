@@ -62,7 +62,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *core.Index, *lda.Model) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(ix, m, nil, cfg)
+	s, err := New(Loaded{Index: ix, Model: m}, nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,9 +314,9 @@ func TestCacheHitsAndReloadInvalidation(t *testing.T) {
 	s, ix, m := newTestServer(t, Config{CacheSize: 16})
 	// Install a loader that rebuilds a fresh state over the same data.
 	reloaded := 0
-	s.load = func(context.Context) (*core.Index, *lda.Model, error) {
+	s.load = func(context.Context) (Loaded, error) {
 		reloaded++
-		return ix, m, nil
+		return Loaded{Index: ix, Model: m}, nil
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -395,7 +395,7 @@ func TestSaturationReturns503(t *testing.T) {
 // the atomic-pointer generation scheme must never surface a torn state.
 func TestConcurrentRequestsWithReloads(t *testing.T) {
 	s, ix, m := newTestServer(t, Config{CacheSize: 8})
-	s.load = func(context.Context) (*core.Index, *lda.Model, error) { return ix, m, nil }
+	s.load = func(context.Context) (Loaded, error) { return Loaded{Index: ix, Model: m}, nil }
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

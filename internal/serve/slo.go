@@ -335,9 +335,14 @@ func (s *SLOTracker) Routes() []obs.Route {
 // the disabled path.
 func (s *Server) SLORoutes() []obs.Route { return s.slo.Routes() }
 
-// Close releases the server's background resources (the SLO rotation
-// ticker). Safe to call more than once; a server built without SLOs has
-// nothing to release.
+// Close releases the server's background resources: the SLO rotation
+// ticker and the live generation's reference (so an mmap-backed model is
+// unmapped once in-flight requests drain). The server must not receive new
+// requests after Close. Safe to call more than once: the current-generation
+// release is guarded so a double Close cannot double-unmap.
 func (s *Server) Close() {
 	s.slo.Close()
+	if s.closed.CompareAndSwap(false, true) {
+		s.cur.Load().release()
+	}
 }

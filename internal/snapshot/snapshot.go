@@ -243,6 +243,16 @@ func Atomic(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("snapshot: fsyncing %s: %w", tmpName, err)
 	}
+	// os.CreateTemp makes the file 0600; installing that over the
+	// destination would silently tighten perms on every artifact and ignore
+	// the umask. Match an existing destination's mode, or default to 0644.
+	mode := os.FileMode(0o644)
+	if st, statErr := os.Stat(path); statErr == nil {
+		mode = st.Mode().Perm()
+	}
+	if err = tmp.Chmod(mode); err != nil {
+		return fmt.Errorf("snapshot: setting mode on %s: %w", tmpName, err)
+	}
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("snapshot: closing %s: %w", tmpName, err)
 	}

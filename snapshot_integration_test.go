@@ -1,0 +1,128 @@
+package hiddenlayer
+
+// End-to-end test for the IBSNAP v2 rollout path: train the same corpus with
+// -snapshot-format v1 and v2, stand an ibserve over each, and require every
+// query endpoint to answer byte-identically across the formats — then reload
+// the v2 server to exercise the mmap generation swap under the real binary.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// startServe launches ibserve over (corpus, model) and returns the query base
+// URL plus a stop func.
+func startServe(t *testing.T, ibserve, corpusPath, modelPath string) string {
+	t.Helper()
+	cmd := exec.Command(ibserve,
+		"-corpus", corpusPath, "-model", modelPath,
+		"-addr", "localhost:0", "-k", "5", "-grace", "5s", "-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+		if t.Failed() && stderr.Len() > 0 {
+			t.Logf("ibserve stderr (%s):\n%s", filepath.Base(modelPath), stderr.String())
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	return "http://" + scrapeAddr(t, sc, "serving on ")
+}
+
+func TestSnapshotFormatsServeIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ibgen := buildTool(t, dir, "ibgen")
+	ibtrain := buildTool(t, dir, "ibtrain")
+	ibserve := buildTool(t, dir, "ibserve")
+
+	corpusPath := filepath.Join(dir, "corpus.jsonl")
+	v1Path := filepath.Join(dir, "lda_v1.ibsnap")
+	v2Path := filepath.Join(dir, "lda_v2.ibsnap")
+	runTool(t, ibgen, "-companies", "120", "-seed", "9", "-out", corpusPath)
+	runTool(t, ibtrain, "-model", "lda", "-topics=3", "-corpus", corpusPath,
+		"-out", v1Path, "-seed", "1", "-snapshot-format", "v1")
+	runTool(t, ibtrain, "-model", "lda", "-topics=3", "-corpus", corpusPath,
+		"-out", v2Path, "-seed", "1", "-snapshot-format", "v2")
+
+	// The flag must actually select the container version on disk.
+	for path, want := range map[string]uint16{v1Path: 1, v2Path: snapshot.Version2} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) < 8 || string(raw[:6]) != "IBSNAP" {
+			t.Fatalf("%s is not an IBSNAP container", path)
+		}
+		if got := binary.BigEndian.Uint16(raw[6:8]); got != want {
+			t.Fatalf("%s: container version %d, want %d", path, got, want)
+		}
+	}
+
+	baseV1 := startServe(t, ibserve, corpusPath, v1Path)
+	baseV2 := startServe(t, ibserve, corpusPath, v2Path)
+
+	type query struct {
+		path    string
+		payload any // nil → GET
+	}
+	queries := []query{
+		{"/v1/similar/3?k=5", nil},
+		{"/v1/similar/7?k=3&min_employees=1", nil},
+		{"/v1/recommend/12?peers=10", nil},
+		{"/v1/whitespace", map[string]any{"clients": []int{1, 5, 9}, "k": 4}},
+		{"/v1/infer", map[string]any{"owned": []int{0, 4, 7}, "k": 4}},
+	}
+	fetch := func(base string, q query) []byte {
+		t.Helper()
+		var code int
+		var body []byte
+		if q.payload == nil {
+			code, body = httpGetBody(t, base+q.path)
+		} else {
+			code, body = httpPostBody(t, base+q.path, q.payload)
+		}
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d\n%s", q.path, code, body)
+		}
+		return body
+	}
+	for _, q := range queries {
+		b1 := fetch(baseV1, q)
+		b2 := fetch(baseV2, q)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s differs across snapshot formats\nv1: %s\nv2: %s", q.path, b1, b2)
+		}
+	}
+
+	// Reload the v2 server (mmap generation swap in the real binary) and
+	// confirm answers survive unchanged.
+	if code, body := httpPostBody(t, baseV2+"/admin/reload", nil); code != http.StatusOK {
+		t.Fatalf("/admin/reload: status %d\n%s", code, body)
+	}
+	for _, q := range queries {
+		if !bytes.Equal(fetch(baseV1, q), fetch(baseV2, q)) {
+			t.Fatalf("%s differs after v2 reload", q.path)
+		}
+	}
+}
