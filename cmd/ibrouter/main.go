@@ -12,7 +12,13 @@
 //	ibrouter -shards localhost:8081,localhost:8082,localhost:8083
 //
 // The shard list must be in partition order: the i-th address serves
-// -shard i/n. Endpoints mirror ibserve's query surface:
+// -shard i/n. Shards may also run -ann (approximate candidate routing with
+// exact re-rank): every shard then prunes through the same coarse index and
+// scans its owned slice of the pool, and the merged answer stays
+// byte-identical to one unsharded -ann ibserve — provided all shards share
+// identical -ann-cells/-ann-nprobe settings and, ideally, one -ann-index
+// file; mixed configurations merge without error but stop matching any
+// single-server baseline. Endpoints mirror ibserve's query surface:
 //
 //	GET  /v1/similar/{id}     merged top-k similar companies
 //	GET  /v1/recommend/{id}   two-phase recommendations (global peers)

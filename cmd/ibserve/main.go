@@ -17,6 +17,14 @@
 //	GET  /healthz                                     liveness + index shape
 //	GET  /readyz                                      readiness (503 once draining)
 //
+// Approximate search: -ann routes the candidate scans through a coarse
+// k-means index (internal/ann) — only the -ann-nprobe cells nearest each
+// query vector are scanned, re-ranked exactly — for sub-linear top-k on
+// large corpora. -ann-cells sizes the index (default sqrt of the corpus)
+// and -ann-index persists it as an IBSNAP v2 snapshot that boots and
+// reloads mmap the index instead of re-clustering. Without -ann every scan
+// stays an exact full scan, byte-identical to previous releases.
+//
 // Sharded serving: -shard i/n restricts the candidate scans to partition i
 // of n (a stable hash of the company id; the representations stay complete,
 // so any shard can still score recommendation peers). Run one ibserve per
@@ -68,10 +76,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/lda"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -105,6 +115,53 @@ func parseShard(s string) (part, parts int, err error) {
 	return part, parts, nil
 }
 
+// annOptions carries the -ann* flags into buildState.
+type annOptions struct {
+	on     bool
+	cells  int    // 0 = sqrt(corpus) default
+	nprobe int    // cells probed per query vector
+	path   string // index snapshot; empty = rebuild in memory each load
+	seed   int64
+}
+
+// openOrBuildANN produces the coarse routing index for reps: when opts.path
+// names a snapshot whose fingerprint (and cell count, if -ann-cells pins
+// one) matches, it is mmapped zero-copy; otherwise the index is re-clustered
+// from reps and — when a path is configured — saved and re-opened through
+// the mapping, so the next boot or reload skips training entirely.
+func openOrBuildANN(reps *mat.Matrix, metric core.Metric, opts annOptions) (*ann.Index, func() error, error) {
+	if opts.path != "" {
+		ix, closeIx, err := ann.LoadFile(opts.path)
+		switch {
+		case err == nil && ix.RepsCRC == ann.Fingerprint(reps) &&
+			(opts.cells == 0 || ix.Cells() == opts.cells):
+			logger.Info("ann index mapped", "path", opts.path, "cells", ix.Cells())
+			return ix, closeIx, nil
+		case err == nil:
+			_ = closeIx()
+			logger.Warn("ann index stale, re-clustering", "path", opts.path)
+		case !os.IsNotExist(errors.Unwrap(err)) && !os.IsNotExist(err):
+			logger.Warn("ann index unreadable, re-clustering", "path", opts.path, "err", err.Error())
+		}
+	}
+	built, err := ann.Build(reps, metric, ann.BuildConfig{Cells: opts.cells, Seed: opts.seed})
+	if err != nil {
+		return nil, nil, fmt.Errorf("building ann index: %w", err)
+	}
+	if opts.path == "" {
+		return built, func() error { return nil }, nil
+	}
+	if err := built.SaveFile(opts.path); err != nil {
+		return nil, nil, fmt.Errorf("saving ann index %s: %w", opts.path, err)
+	}
+	ix, closeIx, err := ann.LoadFile(opts.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	logger.Info("ann index built and saved", "path", opts.path, "cells", ix.Cells())
+	return ix, closeIx, nil
+}
+
 // buildState loads the corpus and model from disk and assembles the index
 // (partitioned when running as a shard). It is both the startup path and the
 // /admin/reload loader, so a reload with unchanged files reproduces the
@@ -113,10 +170,12 @@ func parseShard(s string) (part, parts int, err error) {
 //
 // The model goes through lda.LoadFile: an IBSNAP v2 snapshot is mmapped and
 // phi aliases the mapping (no payload decode, no heap copy), a v1 gob
-// snapshot takes the legacy buffered decode. The returned generation's
-// Close releases the mapping; serve runs it only after the generation has
-// been swapped out and the last in-flight request against it finished.
-func buildState(corpusPath, modelPath string, seed int64, part, parts int) (serve.Loaded, error) {
+// snapshot takes the legacy buffered decode. With -ann the coarse routing
+// index rides the same discipline (openOrBuildANN). The returned
+// generation's Close releases both mappings; serve runs it only after the
+// generation has been swapped out and the last in-flight request against it
+// finished.
+func buildState(corpusPath, modelPath string, seed int64, part, parts int, annOpts annOptions) (serve.Loaded, error) {
 	c, err := corpus.LoadFile(corpusPath)
 	if err != nil {
 		return serve.Loaded{}, fmt.Errorf("loading corpus: %w", err)
@@ -142,7 +201,22 @@ func buildState(corpusPath, modelPath string, seed int64, part, parts int) (serv
 			return fail(err)
 		}
 	}
-	return serve.Loaded{Index: ix, Model: m, Close: closeModel}, nil
+	closeAll := closeModel
+	if annOpts.on {
+		annIx, closeANN, err := openOrBuildANN(reps, core.Cosine, annOpts)
+		if err != nil {
+			return fail(err)
+		}
+		ix.SetPruner(&ann.Router{Index: annIx, NProbe: annOpts.nprobe})
+		closeAll = func() error {
+			err1 := closeANN()
+			if err2 := closeModel(); err2 != nil {
+				return err2
+			}
+			return err1
+		}
+	}
+	return serve.Loaded{Index: ix, Model: m, Close: closeAll}, nil
 }
 
 func main() {
@@ -159,6 +233,11 @@ func main() {
 		cacheSize = flag.Int("cache-size", 256, "LRU response cache entries (negative disables)")
 		maxBody   = flag.Int64("max-body-bytes", 1<<20, "POST request body cap in bytes; oversized bodies fail 413 (negative disables)")
 		shardSpec = flag.String("shard", "", `serve one partition of the candidate scans, as "i/n" (e.g. 0/3); pair with an ibrouter over all n shards`)
+
+		annOn     = flag.Bool("ann", false, "route candidate scans through a coarse k-means ANN index with exact re-rank (sub-linear top-k; off = exact full scan)")
+		annCells  = flag.Int("ann-cells", 0, "ANN coarse cell count (0 = sqrt of the corpus size)")
+		annNProbe = flag.Int("ann-nprobe", 8, "ANN cells probed per query vector (clamped to the cell count; raise for recall, lower for speed)")
+		annPath   = flag.String("ann-index", "", "ANN index snapshot path: mmapped when present and matching the representations, re-clustered and saved otherwise (empty = rebuild in memory each load)")
 		grace     = flag.Duration("grace", 10*time.Second, "connection-drain budget on shutdown")
 		drainWait = flag.Duration("drain-wait", 0, "after SIGTERM, keep serving this long with /readyz at 503 before draining, so routers stop sending first")
 		quiet     = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
@@ -189,7 +268,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	loaded, err := buildState(*corpusPath, *modelPath, *seed, part, parts)
+	annOpts := annOptions{on: *annOn, cells: *annCells, nprobe: *annNProbe, path: *annPath, seed: *seed}
+	loaded, err := buildState(*corpusPath, *modelPath, *seed, part, parts, annOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -199,6 +279,10 @@ func main() {
 			"shard", *shardSpec, "owned", ix.OwnedCompanies())
 	} else {
 		logger.Info("index built", "companies", ix.Corpus.N(), "topics", model.K)
+	}
+	if p := ix.Pruner(); p != nil {
+		info := p.Info()
+		logger.Info("ann routing on", "cells", info.Cells, "nprobe", info.NProbe, "mapped", info.Mapped)
 	}
 
 	cfg := serve.Config{
@@ -224,7 +308,7 @@ func main() {
 		}
 	}
 	srv, err := serve.New(loaded, func(context.Context) (serve.Loaded, error) {
-		return buildState(*corpusPath, *modelPath, *seed, part, parts)
+		return buildState(*corpusPath, *modelPath, *seed, part, parts, annOpts)
 	}, cfg)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,252 @@
+package ann
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/load"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// benchCorpus synthesizes n companies with clustered d-dimensional
+// representations: companies concentrate around a few dozen topic-mixture
+// modes the way LDA representations do, which is the structure the coarse
+// router exploits. Uniform random vectors would understate recall.
+func benchCorpus(tb testing.TB, n, d int) (*corpus.Corpus, *mat.Matrix) {
+	tb.Helper()
+	cat := corpus.DefaultCatalog()
+	m := cat.Size()
+	companies := make([]corpus.Company, n)
+	for i := range companies {
+		companies[i] = corpus.Company{
+			ID: i, Name: fmt.Sprintf("co-%06d", i),
+			Country: []string{"US", "DE", "GB", "FR"}[i%4], SIC2: 70 + i%8,
+			Employees: 10 + i%5000, RevenueM: float64(1 + i%400),
+			Acquisitions: []corpus.Acquisition{
+				{Category: i % m, First: corpus.Month(i % 12)},
+				{Category: (i*7 + 3) % m, First: corpus.Month(i%12 + 1)},
+			},
+		}
+	}
+	c := corpus.New(cat, companies)
+	g := rng.New(17)
+	const modes = 40
+	centers := mat.New(modes, d)
+	for i := range centers.Data {
+		centers.Data[i] = g.Float64()
+	}
+	reps := mat.New(n, d)
+	for i := 0; i < n; i++ {
+		mode := centers.Row(g.Intn(modes))
+		row := reps.Row(i)
+		for j := range row {
+			row[j] = mode[j] + 0.08*(g.Float64()-0.5)
+		}
+		mat.Normalize(row)
+	}
+	return c, reps
+}
+
+// bestOf times fn reps times and returns the fastest wall-clock seconds.
+func bestOf(reps int, fn func()) float64 {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if sec := time.Since(start).Seconds(); i == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// TestWriteANNBench measures the coarse router against the exact scan at 1k
+// and 100k companies — recall@10 vs the exact answer, per-query scan
+// latency, the fused-kernel speedup over the naive per-pair similarity, and
+// a served-path comparison driven through the ibload harness — and records
+// the result as JSON. Gated behind BENCH_ANN_OUT so the regular run stays
+// fast; regenerate the committed BENCH_ann.json with
+//
+//	BENCH_ANN_OUT=$PWD/BENCH_ann.json go test ./internal/ann/ -run TestWriteANNBench -timeout 30m
+func TestWriteANNBench(t *testing.T) {
+	out := os.Getenv("BENCH_ANN_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ANN_OUT to record the ANN benchmark")
+	}
+	const (
+		dims   = 16
+		k      = 10
+		nprobe = 8
+	)
+	runs := []map[string]any{}
+	for _, companies := range []int{1_000, 100_000} {
+		c, reps := benchCorpus(t, companies, dims)
+		exact, err := core.NewIndex(c, reps, core.Cosine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildStart := time.Now()
+		annIx, err := Build(reps, core.Cosine, BuildConfig{Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildSec := time.Since(buildStart).Seconds()
+		pruned, err := core.NewIndex(c, reps, core.Cosine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router := &Router{Index: annIx, NProbe: nprobe}
+		pruned.SetPruner(router)
+
+		// Recall@10 and scan latency over a deterministic query sample.
+		queries := 200
+		if queries > companies {
+			queries = companies
+		}
+		stride := companies / queries
+		var hits, wanted, pool int
+		for qi := 0; qi < queries; qi++ {
+			id := qi * stride
+			want, err := exact.TopK(id, k, core.Filter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pruned.TopK(id, k, core.Filter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inExact := make(map[int]bool, len(want))
+			for _, m := range want {
+				inExact[m.CompanyID] = true
+			}
+			for _, m := range got {
+				if inExact[m.CompanyID] {
+					hits++
+				}
+			}
+			wanted += len(want)
+			for _, cell := range router.Candidates([][]float64{reps.Row(id)}) {
+				pool += len(cell)
+			}
+		}
+		recall := float64(hits) / float64(wanted)
+		scanQueries := func(ix *core.Index) func() {
+			return func() {
+				for qi := 0; qi < queries; qi++ {
+					if _, err := ix.TopK(qi*stride, k, core.Filter{}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		exactSec := bestOf(3, scanQueries(exact)) / float64(queries)
+		annSec := bestOf(3, scanQueries(pruned)) / float64(queries)
+
+		// Fused-kernel speedup on the full exact scan: the pre-kernel hot
+		// path recomputed the query norm for every row (mat.CosineSim per
+		// pair); the Scorer hoists it and streams contiguous rows.
+		q := reps.Row(0)
+		sink := 0.0
+		naiveSec := bestOf(5, func() {
+			for i := 0; i < companies; i++ {
+				sink += mat.CosineSim(q, reps.Row(i))
+			}
+		})
+		dst := make([]float64, companies)
+		sc := core.NewScorer(core.Cosine, q)
+		blockedSec := bestOf(5, func() {
+			sc.ScoreBlock(reps, 0, companies, dst)
+			sink += dst[companies-1]
+		})
+
+		// Served-path comparison through the ibload harness: the same
+		// similar-heavy closed-loop replay against an exact server and the
+		// routed one.
+		ibload := map[string]any{}
+		for _, target := range []struct {
+			label string
+			ix    *core.Index
+		}{{"exact", exact}, {"ann", pruned}} {
+			srv, err := serve.New(serve.Loaded{Index: target.ix}, nil, serve.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			gen := load.NewGenerator(c, load.GenConfig{
+				Seed: 31, Mix: load.Mix{Similar: 1}, FilterProb: -1,
+			})
+			report, err := load.Run(context.Background(), gen, load.Config{
+				BaseURL: ts.URL, Concurrency: 4,
+				Duration: 2 * time.Second, Warmup: 500 * time.Millisecond,
+				Label: fmt.Sprintf("%s_%d", target.label, companies),
+			})
+			ts.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Total.Errors > 0 {
+				t.Fatalf("%s replay at %d companies: %d errors", target.label, companies, report.Total.Errors)
+			}
+			ibload[target.label+"_p50_ms"] = report.Total.P50MS
+			ibload[target.label+"_p99_ms"] = report.Total.P99MS
+			ibload[target.label+"_qps"] = report.Total.QPS
+		}
+
+		runs = append(runs, map[string]any{
+			"companies":                    companies,
+			"dims":                         dims,
+			"cells":                        annIx.Cells(),
+			"nprobe":                       nprobe,
+			"k":                            k,
+			"build_seconds":                buildSec,
+			"recall_at_10":                 recall,
+			"mean_candidate_fraction":      float64(pool) / float64(queries) / float64(companies),
+			"exact_scan_seconds_per_query": exactSec,
+			"ann_scan_seconds_per_query":   annSec,
+			"scan_speedup":                 exactSec / annSec,
+			"kernel_naive_seconds":         naiveSec,
+			"kernel_blocked_seconds":       blockedSec,
+			"kernel_speedup":               naiveSec / blockedSec,
+			"ibload":                       ibload,
+		})
+		_ = sink
+	}
+	report := map[string]any{
+		"benchmark": "coarse-routed ANN (k-means cells, exact re-rank) vs exact scan: " +
+			"recall@10, per-query scan latency, fused-kernel speedup, served-path ibload replay",
+		"cpu_cores":  runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"runs":       runs,
+		"note": "Representations are mode-clustered unit vectors (LDA-like structure); " +
+			"recall@10 is the fraction of the exact top-10 the routed scan returns, " +
+			"averaged over 200 self-similarity queries at nprobe=8 with sqrt(n) cells. " +
+			"scan_speedup compares whole TopK calls (prune + exact re-rank vs full scan), " +
+			"kernel_speedup isolates the fused scorer against per-pair mat.CosineSim " +
+			"which recomputes the query norm every row. ibload rows replay a " +
+			"similar-only closed loop (4 workers, 2s measured after 500ms warmup) " +
+			"against in-process servers; p50/p99 in milliseconds. At 1k companies the " +
+			"scan is already cheap and routing overhead can eat the win — the ANN path " +
+			"pays off at 100k, which is the point of measuring before approximating.",
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		t.Logf("companies=%v cells=%v: recall@10=%.3f scan %.1fx kernel %.1fx",
+			r["companies"], r["cells"], r["recall_at_10"], r["scan_speedup"], r["kernel_speedup"])
+	}
+}

@@ -1,0 +1,156 @@
+// Deterministic parallel k-means for the coarse router.
+//
+// internal/cluster's KMeans is the sequential reference implementation for
+// the paper's Figure-7 clustering validation; this trainer restructures the
+// same Lloyd loop for the par determinism contract so index builds can use
+// every core and still be gob-byte-identical at any worker count:
+//
+//   - Randomness: the k-means++ seeding consumes one RNG stream strictly
+//     sequentially (first center, then one Categorical draw per remaining
+//     center). The parallel phases draw no randomness at all, so there is
+//     nothing scheduling can reorder.
+//   - Parallel phases (seeding distance updates, the assignment step) fan
+//     out over fixed-size row blocks — trainBlock rows, independent of
+//     par.Workers(), unlike par.NumShards — and perform only per-index pure
+//     writes into preallocated slices (d2[i], assign[i]).
+//   - Floating-point reductions (inertia, centroid sums) fold per-index
+//     values in index order on one goroutine, never per-shard partials.
+//
+// Empty cells re-seed deterministically at the point farthest from its
+// assigned center per the assignment pass (lowest index on ties); the
+// stolen point is excluded so successive empty cells pick distinct points.
+package ann
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// trainBlock is the fixed parallel work unit in rows. It must never depend
+// on the worker count: block boundaries are part of the deterministic
+// schedule (not of any float reduction, but of the d2/assign write pattern's
+// cache behavior) and keeping them fixed makes the parallel phases trivially
+// worker-count-invariant.
+const trainBlock = 512
+
+// forBlocks runs fn over [lo, hi) row blocks of trainBlock rows in parallel.
+// fn must only write per-index slots inside its block.
+func forBlocks(n int, fn func(lo, hi int)) {
+	blocks := (n + trainBlock - 1) / trainBlock
+	_ = par.ForEach(context.Background(), blocks, func(b int) error {
+		lo := b * trainBlock
+		hi := lo + trainBlock
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+		return nil
+	})
+}
+
+// train runs k-means++ seeding plus Lloyd iterations over the rows of x and
+// returns the centers, per-row assignment, final inertia and iteration
+// count. Distances are squared Euclidean over the topic simplex, matching
+// internal/cluster; the serving metric only matters at query time.
+func train(x *mat.Matrix, k, maxIter int, tol float64, g *rng.RNG) (*mat.Matrix, []int32, float64, int) {
+	n := x.Rows
+	centers := seed(x, k, g)
+	assign := make([]int32, n)
+	d2 := make([]float64, n) // distance to the assigned center, per row
+	counts := make([]int, k)
+	prev := math.Inf(1)
+	var inertia float64
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		iters = it + 1
+		// Assignment step: per-index pure writes, parallel over fixed blocks.
+		forBlocks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := x.Row(i)
+				bestD, bestC := math.Inf(1), 0
+				for c := 0; c < k; c++ {
+					if dist := mat.SqDist(row, centers.Row(c)); dist < bestD {
+						bestD, bestC = dist, c
+					}
+				}
+				assign[i] = int32(bestC)
+				d2[i] = bestD
+			}
+		})
+		// Reductions fold in index order: inertia, then the centroid sums.
+		inertia = 0
+		for _, v := range d2 {
+			inertia += v
+		}
+		centers.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := int(assign[i])
+			mat.AxpyVec(1, x.Row(i), centers.Row(c))
+			counts[c]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if d2[i] > farD {
+						far, farD = i, d2[i]
+					}
+				}
+				copy(centers.Row(c), x.Row(far))
+				d2[far] = -1
+				continue
+			}
+			mat.ScaleVec(1/float64(counts[c]), centers.Row(c))
+		}
+		if prev-inertia <= tol*prev {
+			break
+		}
+		prev = inertia
+	}
+	return centers, assign, inertia, iters
+}
+
+// seed picks k initial centers with the k-means++ D² weighting. The RNG is
+// consumed sequentially (Intn, then one Categorical per center); the
+// distance-table updates between draws are parallel per-index writes.
+func seed(x *mat.Matrix, k int, g *rng.RNG) *mat.Matrix {
+	n := x.Rows
+	centers := mat.New(k, x.Cols)
+	copy(centers.Row(0), x.Row(g.Intn(n)))
+	d2 := make([]float64, n)
+	first := centers.Row(0)
+	forBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d2[i] = mat.SqDist(x.Row(i), first)
+		}
+	})
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = g.Intn(n) // all points coincide with some center
+		} else {
+			pick = g.Categorical(d2)
+		}
+		copy(centers.Row(c), x.Row(pick))
+		cr := centers.Row(c)
+		forBlocks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if dd := mat.SqDist(x.Row(i), cr); dd < d2[i] {
+					d2[i] = dd
+				}
+			}
+		})
+	}
+	return centers
+}

@@ -3,6 +3,13 @@
 // clustering validation (Figure 7): company representations are clustered
 // for a sweep of cluster counts and each clustering is scored by its
 // silhouette coefficient.
+//
+// This trainer is the sequential reference implementation. The ANN coarse
+// router (internal/ann) restructures the same Lloyd loop for worker-
+// count-invariant parallelism — fixed-size row blocks and index-order
+// float reductions — so serving indexes build on every core yet stay
+// gob-byte-identical; changes to the algorithm here should be mirrored
+// there deliberately, not silently diverged.
 package cluster
 
 import (

@@ -46,6 +46,16 @@ var (
 		"white-space queries that failed (invalid arguments or cancelled)")
 	indexCompanies = obs.Default().Gauge("index_companies",
 		"companies in the most recently built similarity index")
+	annTopkQueries = obs.Default().Counter("ann_topk_queries_total",
+		"top-k queries answered through the ANN candidate pruner (exact scans are topk_requests_total minus this)")
+	annWhitespaceQueries = obs.Default().Counter("ann_whitespace_queries_total",
+		"white-space queries answered through the ANN candidate pruner")
+	annTopkCandidates = obs.Default().Counter("ann_topk_candidates_scanned_total",
+		"candidate companies the ANN pruner admitted into top-k re-rank pools")
+	annWhitespaceCandidates = obs.Default().Counter("ann_whitespace_candidates_scanned_total",
+		"candidate companies the ANN pruner admitted into white-space re-rank pools")
+	annCellsProbed = obs.Default().Counter("ann_cells_probed_total",
+		"centroid cells scanned across all ANN-pruned queries")
 )
 
 // Metric selects the vector distance used for company similarity.
@@ -103,9 +113,14 @@ func (f Filter) Admits(c *corpus.Company) bool {
 
 // Key returns a canonical compact encoding of the filter. Two filters admit
 // the same companies iff their keys are equal, so response caches can key on
-// endpoint + query id + Key().
+// endpoint + query id + Key(). Country is a free-form client-supplied string
+// interpolated into the `|`-delimited key, so it is quoted: with %q every
+// field boundary is unforgeable by construction and the encoding stays
+// injective no matter what bytes (pipes, the other fields' prefixes, quotes)
+// a crafted request smuggles into the country — a collision here would serve
+// one filter's cached response to a differently-filtered request.
 func (f Filter) Key() string {
-	return fmt.Sprintf("s%d|c%s|e%d:%d|r%g:%g",
+	return fmt.Sprintf("s%d|c%q|e%d:%d|r%g:%g",
 		f.SIC2, f.Country, f.MinEmployees, f.MaxEmployees, f.MinRevenueM, f.MaxRevenueM)
 }
 
@@ -129,7 +144,40 @@ type Index struct {
 	Metric Metric
 
 	part, parts int // candidate-scan partition; parts <= 1 scans everything
+
+	pruner Pruner // nil = exact full scan (the default escape hatch)
 }
+
+// Pruner narrows a candidate scan to an approximate pool — the ANN fast
+// path. Implementations (internal/ann's coarse k-means router) return, for a
+// set of query vectors, the union of their probed cells: one slice per cell,
+// ascending company ids within a cell, disjoint cells in ascending order.
+// The scan re-ranks the pool exactly (same scorer, same filter, same total
+// order), so pruning only ever affects which candidates are considered,
+// never how survivors are ranked. A Pruner must be safe for concurrent use
+// and deterministic: identical queries yield identical pools at any worker
+// count.
+type Pruner interface {
+	Candidates(queries [][]float64) [][]int64
+	Info() PrunerInfo
+}
+
+// PrunerInfo describes an installed candidate pruner for health reporting.
+type PrunerInfo struct {
+	Cells  int  // coarse cells in the index
+	NProbe int  // cells probed per query vector
+	Mapped bool // centroids and postings alias an mmap (IBSNAP v2)
+}
+
+// SetPruner installs an approximate candidate source on the index's scans;
+// nil restores the exact full scan. Install at build time, before serving —
+// the field is not synchronized. Partitioning composes: a pruned scan on a
+// partitioned index still visits only owned candidates, so per-shard pruned
+// answers merge (MergeTopK) byte-identically to an unsharded pruned server.
+func (ix *Index) SetPruner(p Pruner) { ix.pruner = p }
+
+// Pruner returns the installed candidate pruner, nil when scans are exact.
+func (ix *Index) Pruner() Pruner { return ix.pruner }
 
 // PartitionOf maps a company id to its partition in [0, parts): FNV-1a over
 // the id's eight little-endian bytes, mod parts. The hash is fixed — never
@@ -355,28 +403,64 @@ func (ix *Index) topKByVector(ctx context.Context, query []float64, k int, f Fil
 	ctx, sp := trace.Start(ctx, "core.topk")
 	sp.AttrInt("k", int64(k))
 	sp.AttrInt("candidates", int64(n))
+	sc := NewScorer(ix.Metric, query)
 	type shardOut struct {
 		matches            []Match
 		admitted, rejected uint64
 	}
-	out := make([]shardOut, par.NumShards(n))
-	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
-		h := newTopkHeap(k, MatchBetter)
-		var admitted, rejected uint64
-		for i := lo; i < hi; i++ {
-			if i == exclude || !ix.owns(i) {
-				continue
-			}
-			if !f.Admits(&ix.Corpus.Companies[i]) {
-				rejected++
-				continue
-			}
-			admitted++
-			h.push(Match{CompanyID: i, Similarity: ix.similarity(query, ix.Reps.Row(i))})
+	var out []shardOut
+	var err error
+	if ix.pruner != nil {
+		cells := ix.pruner.Candidates([][]float64{query})
+		var pool int64
+		for _, cell := range cells {
+			pool += int64(len(cell))
 		}
-		out[s] = shardOut{matches: h.sorted(), admitted: admitted, rejected: rejected}
-		return nil
-	})
+		sp.Attr("mode", "ann")
+		sp.AttrInt("cells_probed", int64(len(cells)))
+		sp.AttrInt("pool", pool)
+		annTopkQueries.Inc()
+		annTopkCandidates.Add(uint64(pool))
+		annCellsProbed.Add(uint64(len(cells)))
+		out = make([]shardOut, len(cells))
+		err = par.ForEach(ctx, len(cells), func(ci int) error {
+			h := newTopkHeap(k, MatchBetter)
+			var admitted, rejected uint64
+			for _, id := range cells[ci] {
+				i := int(id)
+				if i == exclude || !ix.owns(i) {
+					continue
+				}
+				if !f.Admits(&ix.Corpus.Companies[i]) {
+					rejected++
+					continue
+				}
+				admitted++
+				h.push(Match{CompanyID: i, Similarity: sc.Score(ix.Reps.Row(i))})
+			}
+			out[ci] = shardOut{matches: h.sorted(), admitted: admitted, rejected: rejected}
+			return nil
+		})
+	} else {
+		out = make([]shardOut, par.NumShards(n))
+		err = par.ForEachShard(ctx, n, func(s, lo, hi int) error {
+			h := newTopkHeap(k, MatchBetter)
+			var admitted, rejected uint64
+			for i := lo; i < hi; i++ {
+				if i == exclude || !ix.owns(i) {
+					continue
+				}
+				if !f.Admits(&ix.Corpus.Companies[i]) {
+					rejected++
+					continue
+				}
+				admitted++
+				h.push(Match{CompanyID: i, Similarity: sc.Score(ix.Reps.Row(i))})
+			}
+			out[s] = shardOut{matches: h.sorted(), admitted: admitted, rejected: rejected}
+			return nil
+		})
+	}
 	if err != nil {
 		topkErrors.Inc()
 		sp.Error(err)
@@ -477,8 +561,18 @@ func (ix *Index) recommendFromPeers(id int, peers []Match) []ProductRecommendati
 	for _, a := range target.Acquisitions {
 		owned[a.Category] = true
 	}
-	weight := make([]float64, ix.Corpus.M())
-	owners := make([]int, ix.Corpus.M())
+	// Sparse accumulation: peers own a handful of categories, so a dense
+	// corpus-vocabulary-sized tally (two O(M) slices allocated and zeroed per
+	// query) wastes nearly all its work. The map holds only touched
+	// categories; per-category weights still accumulate in peer order, and the
+	// keys are walked in ascending category order like the dense loop did, so
+	// the output is gob-byte-identical (pinned by
+	// TestRecommendFromPeersSparseMatchesDense).
+	type tally struct {
+		weight float64
+		owners int
+	}
+	gaps := make(map[int]tally, 16)
 	var totalSim float64
 	for _, p := range peers {
 		sim := math.Max(p.Similarity, 0)
@@ -487,23 +581,28 @@ func (ix *Index) recommendFromPeers(id int, peers []Match) []ProductRecommendati
 			if owned[a.Category] {
 				continue
 			}
-			weight[a.Category] += sim
-			owners[a.Category]++
+			t := gaps[a.Category]
+			t.weight += sim
+			t.owners++
+			gaps[a.Category] = t
 		}
 	}
 	if totalSim == 0 {
 		return nil
 	}
-	var out []ProductRecommendation
-	for cat, w := range weight {
-		if owners[cat] == 0 {
-			continue
-		}
+	cats := make([]int, 0, len(gaps))
+	for cat := range gaps {
+		cats = append(cats, cat)
+	}
+	sort.Ints(cats)
+	out := make([]ProductRecommendation, 0, len(cats))
+	for _, cat := range cats {
+		t := gaps[cat]
 		out = append(out, ProductRecommendation{
 			Category: cat,
 			Name:     ix.Corpus.Catalog.Name(cat),
-			Strength: w / totalSim,
-			Owners:   owners[cat],
+			Strength: t.weight / totalSim,
+			Owners:   t.owners,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -561,25 +660,63 @@ func (ix *Index) WhitespaceContext(ctx context.Context, clientIDs []int, k int, 
 	sp.AttrInt("clients", int64(len(clientIDs)))
 	sp.AttrInt("k", int64(k))
 	sp.AttrInt("candidates", int64(n))
-	shards := make([][]WhitespaceProspect, par.NumShards(n))
-	err := par.ForEachShard(ctx, n, func(s, lo, hi int) error {
-		h := newTopkHeap(k, ProspectBetter)
-		for i := lo; i < hi; i++ {
-			if !ix.owns(i) || isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
-				continue
+	// One kernel per client hoists the client norms out of the O(n·clients)
+	// hot loop; scorers are read-only and shared across scan goroutines.
+	scorers := make([]*Scorer, len(clientRows))
+	for ci, crow := range clientRows {
+		scorers[ci] = NewScorer(ix.Metric, crow)
+	}
+	score := func(h *topkHeap[WhitespaceProspect], i int) {
+		rowI := ix.Reps.Row(i)
+		best := WhitespaceProspect{CompanyID: i, NearestClient: -1, Similarity: math.Inf(-1)}
+		for ci := range scorers {
+			if sim := scorers[ci].Score(rowI); sim > best.Similarity {
+				best.Similarity, best.NearestClient = sim, clientIDs[ci]
 			}
-			rowI := ix.Reps.Row(i)
-			best := WhitespaceProspect{CompanyID: i, NearestClient: -1, Similarity: math.Inf(-1)}
-			for ci, crow := range clientRows {
-				if sim := ix.similarity(rowI, crow); sim > best.Similarity {
-					best.Similarity, best.NearestClient = sim, clientIDs[ci]
-				}
-			}
-			h.push(best)
 		}
-		shards[s] = h.sorted()
-		return nil
-	})
+		h.push(best)
+	}
+	var shards [][]WhitespaceProspect
+	var err error
+	if ix.pruner != nil {
+		cells := ix.pruner.Candidates(clientRows)
+		var pool int64
+		for _, cell := range cells {
+			pool += int64(len(cell))
+		}
+		sp.Attr("mode", "ann")
+		sp.AttrInt("cells_probed", int64(len(cells)))
+		sp.AttrInt("pool", pool)
+		annWhitespaceQueries.Inc()
+		annWhitespaceCandidates.Add(uint64(pool))
+		annCellsProbed.Add(uint64(len(cells)))
+		shards = make([][]WhitespaceProspect, len(cells))
+		err = par.ForEach(ctx, len(cells), func(ci int) error {
+			h := newTopkHeap(k, ProspectBetter)
+			for _, id := range cells[ci] {
+				i := int(id)
+				if !ix.owns(i) || isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
+					continue
+				}
+				score(h, i)
+			}
+			shards[ci] = h.sorted()
+			return nil
+		})
+	} else {
+		shards = make([][]WhitespaceProspect, par.NumShards(n))
+		err = par.ForEachShard(ctx, n, func(s, lo, hi int) error {
+			h := newTopkHeap(k, ProspectBetter)
+			for i := lo; i < hi; i++ {
+				if !ix.owns(i) || isClient[i] || !f.Admits(&ix.Corpus.Companies[i]) {
+					continue
+				}
+				score(h, i)
+			}
+			shards[s] = h.sorted()
+			return nil
+		})
+	}
 	if err != nil {
 		wsErrors.Inc()
 		sp.Error(err)

@@ -467,6 +467,9 @@ func TestFilterKeyCanonical(t *testing.T) {
 	variants := []Filter{
 		{}, {SIC2: 73}, {Country: "US"}, {MinEmployees: 10}, {MaxEmployees: 10},
 		{MinRevenueM: 1}, {MaxRevenueM: 1}, a,
+		// Country is client-supplied: delimiter-bearing values must not
+		// forge other fields (see TestFilterKeyInjectionResistant).
+		{Country: "US|e10:0"}, {Country: "US", MinEmployees: 10},
 	}
 	seen := make(map[string]int)
 	for i, f := range variants {

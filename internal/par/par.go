@@ -69,6 +69,9 @@ const shardsPerWorker = 4
 // results size their slices with it. Only exact (order-independent)
 // reductions may merge per-shard values, because the shard boundaries move
 // with the worker count; floating-point partials must be per-index instead.
+// Schedules that must themselves be worker-invariant (not just their
+// reductions) should fan out over fixed-size blocks via ForEach instead —
+// internal/ann's k-means trainer is the pattern.
 func NumShards(n int) int {
 	s := Workers() * shardsPerWorker
 	if s > n {

@@ -227,13 +227,21 @@ func (st *state) release() {
 }
 
 // current returns the live generation with a reference held; the caller
-// must release() it. The retry terminates because a failed acquire means a
-// reload both swapped cur and dropped the old generation's birth reference
-// in between — the next Load observes the new pointer.
+// must release() it. The retry terminates because a failed acquire means
+// either a reload both swapped cur and dropped the old generation's birth
+// reference in between — the next Load observes the new pointer — or
+// Server.Close dropped the final generation's birth reference, in which
+// case cur never changes again: current returns nil and the caller must
+// answer 503 rather than touch a possibly-unmapped generation. (Close
+// stores closed before releasing, so a failed acquire against the closed
+// server always observes the flag.)
 func (s *Server) current() *state {
 	for {
 		if st := s.cur.Load(); st.acquire() {
 			return st
+		}
+		if s.closed.Load() {
+			return nil
 		}
 	}
 }
@@ -493,6 +501,14 @@ func (s *Server) limited(name string, m *endpointMetrics, h handlerFunc) http.Ha
 		// Hold a reference on the generation for the whole request: a reload
 		// swapping it out must not munmap its matrices under our feet.
 		st := s.current()
+		if st == nil { // Server.Close ran; the last generation is gone
+			m.errors.Inc()
+			status = http.StatusServiceUnavailable
+			err := errors.New("serve: server closed")
+			sp.Error(err)
+			s.writeError(w, r, status, err)
+			return
+		}
 		defer st.release()
 		resp, err := h(ctx, st, r)
 		if err != nil {
@@ -731,12 +747,21 @@ type healthResponse struct {
 	// Partition is present only on a shard-mode server (ibserve -shard i/n):
 	// which slice of the corpus this process's candidate scans own.
 	Partition *partitionJSON `json:"partition,omitempty"`
+	// ANN is present only when an approximate candidate router is installed
+	// (ibserve -ann): the coarse index shape the scans prune through.
+	ANN *annJSON `json:"ann,omitempty"`
 }
 
 type partitionJSON struct {
 	Index     int `json:"index"`
 	Of        int `json:"of"`
 	Companies int `json:"companies"` // companies this partition owns
+}
+
+type annJSON struct {
+	Cells  int  `json:"cells"`
+	NProbe int  `json:"nprobe"`
+	Mapped bool `json:"mapped"` // index opened zero-copy from an IBSNAP v2 mmap
 }
 
 type reloadResponse struct {
@@ -749,7 +774,17 @@ type reloadResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	st := s.cur.Load()
+	// Hold a reference like the query paths do: the partition block's
+	// OwnedCompanies walk (and any future index read here) must not race a
+	// reload releasing the generation's mmap. A bare s.cur.Load() could
+	// observe a generation whose last reference — and mapping — is being
+	// dropped concurrently.
+	st := s.current()
+	if st == nil { // Server.Close ran; the last generation is gone
+		s.writeError(w, r, http.StatusServiceUnavailable, errors.New("serve: server closed"))
+		return
+	}
+	defer st.release()
 	resp := healthResponse{
 		Status:     "ok",
 		Companies:  st.ix.Corpus.N(),
@@ -770,6 +805,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if part, parts := st.ix.Partition(); parts > 1 {
 		resp.Partition = &partitionJSON{Index: part, Of: parts, Companies: st.ix.OwnedCompanies()}
+	}
+	if p := st.ix.Pruner(); p != nil {
+		info := p.Info()
+		resp.ANN = &annJSON{Cells: info.Cells, NProbe: info.NProbe, Mapped: info.Mapped}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)

@@ -430,6 +430,35 @@ func TestConcurrentRequestsWithReloads(t *testing.T) {
 			}
 		}(g)
 	}
+	// /healthz reads index state too (partition walk, ANN info) and must
+	// hold a generation reference like the query paths — hammer it through
+	// the same reload storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			resp, err := ts.Client().Get(ts.URL + "/healthz")
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("healthz %d: status %d", i, resp.StatusCode)
+				return
+			}
+			var h healthResponse
+			if err := json.Unmarshal(body, &h); err != nil {
+				errs <- fmt.Errorf("healthz %d: %v\n%s", i, err, body)
+				return
+			}
+			if h.Status != "ok" {
+				errs <- fmt.Errorf("healthz %d: %+v", i, h)
+				return
+			}
+		}
+	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()

@@ -337,9 +337,11 @@ func (s *Server) SLORoutes() []obs.Route { return s.slo.Routes() }
 
 // Close releases the server's background resources: the SLO rotation
 // ticker and the live generation's reference (so an mmap-backed model is
-// unmapped once in-flight requests drain). The server must not receive new
-// requests after Close. Safe to call more than once: the current-generation
-// release is guarded so a double Close cannot double-unmap.
+// unmapped once in-flight requests drain). Stop routing traffic here before
+// Close; straggler requests that arrive anyway answer 503 (current() refuses
+// the dead generation) rather than touch unmapped memory. Safe to call more
+// than once: the current-generation release is guarded so a double Close
+// cannot double-unmap.
 func (s *Server) Close() {
 	s.slo.Close()
 	if s.closed.CompareAndSwap(false, true) {

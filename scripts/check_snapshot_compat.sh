@@ -11,4 +11,5 @@ set -eu
 cd "$(dirname "$0")/.."
 
 go test ./internal/lda/ -run 'TestCompatFixtures|TestV1V2LoadIdentical' -count=1
+go test ./internal/ann/ -run 'TestCompatFixture|TestSaveLoadRoundTrip' -count=1
 echo "snapshot compat OK"
