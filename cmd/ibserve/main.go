@@ -25,6 +25,19 @@
 // reloads mmap the index instead of re-clustering. Without -ann every scan
 // stays an exact full scan, byte-identical to previous releases.
 //
+// Live quality: -shadow-sample N re-executes 1 in N ANN-served /v1/similar
+// and /v1/whitespace cache misses as exact full scans off the critical path
+// (bounded queue, dedicated worker; a full queue drops and counts rather
+// than blocking) and compares the answers — recall@k, top-1 agreement, rank
+// displacement, score drift — into the ann_observed_recall window and a
+// worst-divergence ring at GET /debug/recall whose entries resolve at
+// /debug/traces/{id}. Sampling decisions are drawn from one seeded stream
+// (-seed), so a drill replays the same sample set. -slo-recall adds the
+// observed recall as an objective to /debug/slo; /admin/reload replays the
+// last sampled queries against the incoming generation and reports the
+// canary diff, and -reload-guard refuses swaps whose mean result-set Jaccard
+// falls below the threshold.
+//
 // Sharded serving: -shard i/n restricts the candidate scans to partition i
 // of n (a stable hash of the company id; the representations stay complete,
 // so any shard can still score recommendation peers). Run one ibserve per
@@ -86,6 +99,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/shadow"
 	"repro/internal/trace"
 )
 
@@ -242,10 +256,16 @@ func main() {
 		drainWait = flag.Duration("drain-wait", 0, "after SIGTERM, keep serving this long with /readyz at 503 before draining, so routers stop sending first")
 		quiet     = flag.Bool("quiet", false, "suppress per-request access-log lines (failures and slow queries still log)")
 
+		shadowSample = flag.Int("shadow-sample", 0, "re-execute 1 in N ANN-served queries as exact scans off the critical path and serve GET /debug/recall (0 disables; decisions are seeded from -seed)")
+		shadowQueue  = flag.Int("shadow-queue", shadow.DefaultQueue, "shadow sample queue bound; a full queue drops and counts instead of blocking")
+		shadowRecent = flag.Int("shadow-recent", shadow.DefaultRecent, "sampled queries kept for the /admin/reload canary replay")
+		reloadGuard  = flag.Float64("reload-guard", 0, "refuse /admin/reload with 409 when the canary's mean result-set Jaccard falls below this (0 = report-only; requires -shadow-sample)")
+
 		sloOn     = flag.Bool("slo", false, "track rolling-window SLOs per endpoint and serve GET /debug/slo on -debug-addr")
 		sloWindow = flag.Duration("slo-window", serve.DefaultSLOWindow, "rolling SLO evaluation window")
 		sloAvail  = flag.Float64("slo-availability", serve.DefaultSLOAvailability, "availability objective (fraction of requests without a server error)")
 		sloLat    = flag.String("slo-latency", "", `per-endpoint p99 latency objectives, e.g. "default=100ms,similar=50ms"`)
+		sloRecall = flag.Float64("slo-recall", 0, "observed-recall SLO objective evaluated from the shadow sampler (0 disables; requires -slo and -shadow-sample)")
 
 		runtimeMetrics  = flag.Bool("runtime-metrics", false, "sample Go runtime health (go_* gauges, GC pauses) into /metrics")
 		runtimeInterval = flag.Duration("runtime-interval", 10*time.Second, "runtime sampler interval (each sample briefly stops the world)")
@@ -296,6 +316,22 @@ func main() {
 		Logger:        logger,
 		Quiet:         *quiet,
 	}
+	if *shadowSample > 0 {
+		cfg.Shadow = &shadow.Config{
+			SampleN: *shadowSample,
+			Seed:    *seed,
+			Queue:   *shadowQueue,
+			Recent:  *shadowRecent,
+		}
+		cfg.ReloadGuard = *reloadGuard
+	} else {
+		if *reloadGuard > 0 {
+			fatal(errors.New("-reload-guard requires -shadow-sample (the guard judges the shadow canary replay)"))
+		}
+		if *sloRecall > 0 {
+			fatal(errors.New("-slo-recall requires -shadow-sample (the objective is evaluated from shadow samples)"))
+		}
+	}
 	if *sloOn {
 		objectives, err := serve.ParseLatencyObjectives(*sloLat)
 		if err != nil {
@@ -305,7 +341,10 @@ func main() {
 			Window:       *sloWindow,
 			Availability: *sloAvail,
 			Latency:      objectives,
+			Recall:       *sloRecall,
 		}
+	} else if *sloRecall > 0 {
+		fatal(errors.New("-slo-recall requires -slo"))
 	}
 	srv, err := serve.New(loaded, func(context.Context) (serve.Loaded, error) {
 		return buildState(*corpusPath, *modelPath, *seed, part, parts, annOpts)
@@ -325,6 +364,7 @@ func main() {
 	// mount alongside /debug/traces on the same mux.
 	if obsFlags.DebugAddr != "" {
 		routes := append(trace.Routes(trace.Default()), srv.SLORoutes()...)
+		routes = append(routes, srv.ShadowRoutes()...) // /debug/recall, also on the main mux
 		dbg, err := obs.StartDebug(obsFlags.DebugAddr, obs.Default(), routes...)
 		if err != nil {
 			fatal(err)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/shadow"
 )
 
 // benchCorpus synthesizes n companies with clustered d-dimensional
@@ -171,13 +172,23 @@ func TestWriteANNBench(t *testing.T) {
 
 		// Served-path comparison through the ibload harness: the same
 		// similar-heavy closed-loop replay against an exact server and the
-		// routed one.
+		// routed one. The ANN server runs with shadow sampling on (every
+		// cache-missed query re-executed exactly off the critical path), so
+		// the benchmark also records the *live* observed recall the shadow
+		// pipeline reports — the serving-time counterpart of the offline
+		// recall_at_10 above, measured through the same code path operators
+		// scrape at /debug/recall.
 		ibload := map[string]any{}
 		for _, target := range []struct {
-			label string
-			ix    *core.Index
-		}{{"exact", exact}, {"ann", pruned}} {
-			srv, err := serve.New(serve.Loaded{Index: target.ix}, nil, serve.Config{})
+			label  string
+			ix     *core.Index
+			shadow bool
+		}{{"exact", exact, false}, {"ann", pruned, true}} {
+			cfg := serve.Config{}
+			if target.shadow {
+				cfg.Shadow = &shadow.Config{SampleN: 1, Seed: 41}
+			}
+			srv, err := serve.New(serve.Loaded{Index: target.ix}, nil, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -190,16 +201,41 @@ func TestWriteANNBench(t *testing.T) {
 				Duration: 2 * time.Second, Warmup: 500 * time.Millisecond,
 				Label: fmt.Sprintf("%s_%d", target.label, companies),
 			})
-			ts.Close()
 			if err != nil {
+				ts.Close()
 				t.Fatal(err)
 			}
 			if report.Total.Errors > 0 {
+				ts.Close()
 				t.Fatalf("%s replay at %d companies: %d errors", target.label, companies, report.Total.Errors)
 			}
 			ibload[target.label+"_p50_ms"] = report.Total.P50MS
 			ibload[target.label+"_p99_ms"] = report.Total.P99MS
 			ibload[target.label+"_qps"] = report.Total.QPS
+			if target.shadow {
+				// Let the shadow worker drain: poll until the processed-sample
+				// total stops moving, then scrape the live verdict.
+				var prev uint64
+				for i := 0; i < 50; i++ {
+					rs, serr := load.ScrapeRecall(ts.URL, time.Second)
+					if serr != nil {
+						ts.Close()
+						t.Fatal(serr)
+					}
+					if rs != nil && rs.Samples > 0 && rs.Samples == prev {
+						ibload["ann_observed_recall"] = rs.ObservedRecall
+						ibload["ann_shadow_samples"] = rs.Samples
+						ibload["ann_shadow_dropped"] = rs.Dropped
+						break
+					}
+					if rs != nil {
+						prev = rs.Samples
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+			}
+			ts.Close()
+			srv.Close()
 		}
 
 		runs = append(runs, map[string]any{
@@ -234,7 +270,10 @@ func TestWriteANNBench(t *testing.T) {
 			"kernel_speedup isolates the fused scorer against per-pair mat.CosineSim " +
 			"which recomputes the query norm every row. ibload rows replay a " +
 			"similar-only closed loop (4 workers, 2s measured after 500ms warmup) " +
-			"against in-process servers; p50/p99 in milliseconds. At 1k companies the " +
+			"against in-process servers; p50/p99 in milliseconds. The ann server " +
+			"additionally runs shadow sampling at 1-in-1, so ann_observed_recall is " +
+			"the live /debug/recall verdict after the replay's samples drain — the " +
+			"serving-time counterpart of recall_at_10. At 1k companies the " +
 			"scan is already cheap and routing overhead can eat the win — the ANN path " +
 			"pays off at 100k, which is the point of measuring before approximating.",
 	}

@@ -1,0 +1,58 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RecallStats is the server-side quality block the report can carry next to
+// the client-observed latencies: the shadow sampler's live exact-vs-ANN
+// verdict scraped from GET /debug/recall after the replay. The same shape
+// parses a single ibserve's sampler status and an ibrouter's fleet aggregate
+// (the fleet body has no per-process totals; those fields stay zero).
+type RecallStats struct {
+	// ObservedRecall is the sliding-window mean recall@k of ANN-served
+	// answers against exact shadow re-executions; WindowSamples is how many
+	// samples the window estimate rests on.
+	ObservedRecall float64 `json:"observed_recall"`
+	WindowSamples  uint64  `json:"window_samples"`
+	// Samples / Dropped / ExactErrors are the sampler's process-lifetime
+	// totals (zero when scraping a router fleet view).
+	Samples     uint64 `json:"samples_total,omitempty"`
+	Dropped     uint64 `json:"dropped_total,omitempty"`
+	ExactErrors uint64 `json:"exact_errors_total,omitempty"`
+}
+
+// ScrapeRecall fetches GET {baseURL}/debug/recall and returns the live
+// observed-recall stats. A 404 means the target is not shadow-sampling
+// (sampling off, or an exact-only server): that is a clean (nil, nil), not an
+// error, so callers can scrape unconditionally after a replay.
+func ScrapeRecall(baseURL string, timeout time.Duration) (*RecallStats, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(baseURL + "/debug/recall")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: %s/debug/recall answered %d", baseURL, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var rs RecallStats
+	if err := json.Unmarshal(body, &rs); err != nil {
+		return nil, fmt.Errorf("load: unparseable /debug/recall body: %w", err)
+	}
+	return &rs, nil
+}

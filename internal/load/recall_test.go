@@ -1,0 +1,46 @@
+package load
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestScrapeRecall covers the three scrape outcomes: a sampling server's
+// status parses into RecallStats, a 404 (not sampling) is a clean nil, and a
+// reachable-but-broken endpoint is an error.
+func TestScrapeRecall(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/recall", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"enabled":true,"sample_one_in":8,"observed_recall":0.93,` +
+			`"window_samples":12,"samples_total":40,"dropped_total":2,"exact_errors_total":1,"worst":[]}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rs, err := ScrapeRecall(ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs == nil || rs.ObservedRecall != 0.93 || rs.WindowSamples != 12 ||
+		rs.Samples != 40 || rs.Dropped != 2 || rs.ExactErrors != 1 {
+		t.Fatalf("scraped %+v, want the served stats", rs)
+	}
+
+	off := httptest.NewServer(http.NewServeMux()) // no /debug/recall: sampling off
+	defer off.Close()
+	rs, err = ScrapeRecall(off.URL, time.Second)
+	if err != nil || rs != nil {
+		t.Fatalf("scrape of a non-sampling server = (%+v, %v), want (nil, nil)", rs, err)
+	}
+
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	if _, err = ScrapeRecall(broken.URL, time.Second); err == nil {
+		t.Fatal("scrape of a 500ing endpoint succeeded, want error")
+	}
+}

@@ -63,6 +63,10 @@ type Report struct {
 	WarmupRequests               int                      `json:"warmup_requests"`
 	Total                        EndpointStats            `json:"total"`
 	Endpoints                    map[string]EndpointStats `json:"endpoints"`
+	// Recall carries the server's live shadow-sampled exact-vs-ANN verdict
+	// scraped from /debug/recall after the replay (ScrapeRecall); absent when
+	// the target is not shadow-sampling.
+	Recall *RecallStats `json:"ann_observed_recall,omitempty"`
 }
 
 // quantileMS returns the q-quantile of sorted latencies in milliseconds by

@@ -16,6 +16,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -158,6 +159,21 @@ func (r *Registry) checkNew(name, help string) {
 		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
 	}
 	r.help[name] = help
+}
+
+// Names returns every registered metric name, sorted — counters, gauges,
+// histograms and windowed histograms alike. The metrics-documentation check
+// (scripts/check_metrics_docs.sh) walks it to assert each series that can
+// appear in an exposition is documented in README or DESIGN.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.help))
+	for name := range r.help {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // SetSpansEnabled toggles span capture. Disabled spans take the fast path:

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/shadow"
+)
+
+// fleetWorstMax bounds the merged worst-divergence list in the fleet view;
+// each shard already bounds its own ring, this just keeps the aggregate body
+// small when many shards sample.
+const fleetWorstMax = 32
+
+// fleetRecallShard is one shard's slice of the fleet recall view: either the
+// shard's own /debug/recall status, a "sampling": false marker (the shard
+// answered 404 — shadow sampling is off there), or an inline error when the
+// shard could not be asked at all.
+type fleetRecallShard struct {
+	Shard    int            `json:"shard"`
+	Addr     string         `json:"addr"`
+	Sampling bool           `json:"sampling"`
+	Err      string         `json:"error,omitempty"`
+	Status   *shadow.Status `json:"status,omitempty"`
+}
+
+// fleetEntry is a shard worst-divergence entry annotated with the shard it
+// came from, so a fleet-level triage can jump to the right shard's
+// /debug/traces.
+type fleetEntry struct {
+	Shard int `json:"shard"`
+	shadow.Entry
+}
+
+// fleetRecallResponse is the GET /debug/recall body on the router: per-shard
+// statuses plus the sample-weighted fleet aggregate.
+type fleetRecallResponse struct {
+	Shards         []fleetRecallShard `json:"shards"`
+	ShardsSampling int                `json:"shards_sampling"`
+	WindowSamples  uint64             `json:"window_samples"`
+	ObservedRecall float64            `json:"observed_recall"`
+	Worst          []fleetEntry       `json:"worst"`
+}
+
+// handleFleetRecall fans GET /debug/recall out to every shard and merges the
+// answers into one fleet view: the observed recall is the WindowSamples-
+// weighted mean over sampling shards, and the worst-divergence lists merge
+// recall-ascending. Shards that are down or not sampling are reported inline
+// instead of failing the whole view — the fleet page stays useful during
+// exactly the degraded episodes it exists to triage.
+func (rt *Router) handleFleetRecall(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+	defer cancel()
+	shards := make([]fleetRecallShard, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			out := fleetRecallShard{Shard: sh.index, Addr: sh.base}
+			status, body, err := doRequest(ctx, rt.client, http.MethodGet, sh.base+"/debug/recall", nil, nil)
+			switch {
+			case err != nil:
+				out.Err = err.Error()
+			case status == http.StatusNotFound:
+				// The shard serves but does not mount /debug/recall: shadow
+				// sampling is off there. Not an error.
+			case status != http.StatusOK:
+				out.Err = fmt.Sprintf("shard answered %d", status)
+			default:
+				var st shadow.Status
+				if uerr := json.Unmarshal(body, &st); uerr != nil {
+					out.Err = "unparseable /debug/recall body: " + uerr.Error()
+				} else {
+					out.Sampling = st.Enabled
+					out.Status = &st
+				}
+			}
+			shards[i] = out
+		}(i, sh)
+	}
+	wg.Wait()
+
+	resp := fleetRecallResponse{Shards: shards, Worst: []fleetEntry{}}
+	var weighted float64
+	for _, s := range shards {
+		if s.Status == nil || !s.Sampling {
+			continue
+		}
+		resp.ShardsSampling++
+		resp.WindowSamples += s.Status.WindowSamples
+		weighted += s.Status.Recall * float64(s.Status.WindowSamples)
+		for _, e := range s.Status.Worst {
+			resp.Worst = append(resp.Worst, fleetEntry{Shard: s.Shard, Entry: e})
+		}
+	}
+	if resp.WindowSamples > 0 {
+		resp.ObservedRecall = weighted / float64(resp.WindowSamples)
+	}
+	sort.Slice(resp.Worst, func(a, b int) bool {
+		if resp.Worst[a].Recall != resp.Worst[b].Recall {
+			return resp.Worst[a].Recall < resp.Worst[b].Recall
+		}
+		return resp.Worst[a].Shard < resp.Worst[b].Shard
+	})
+	if len(resp.Worst) > fleetWorstMax {
+		resp.Worst = resp.Worst[:fleetWorstMax]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

@@ -1,0 +1,210 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/shadow"
+	"repro/internal/trace"
+)
+
+// fakeRecallShard stands up a stub shard that answers GET /debug/recall with
+// a canned shadow.Status (st == nil answers 404, like a shard with sampling
+// off — /readyz still says ready so the router treats it as healthy).
+func fakeRecallShard(t *testing.T, st *shadow.Status) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("{\"status\":\"ready\"}\n"))
+	})
+	if st != nil {
+		mux.HandleFunc("GET /debug/recall", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(st)
+		})
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func fleetRecall(t *testing.T, rt *Router) fleetRecallResponse {
+	t.Helper()
+	var h http.Handler
+	for _, r := range rt.Routes() {
+		if r.Pattern == "GET /debug/recall" {
+			h = r.Handler
+		}
+	}
+	if h == nil {
+		t.Fatal("Routes() does not include GET /debug/recall")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/recall", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fleet /debug/recall status = %d, want 200", rec.Code)
+	}
+	var out fleetRecallResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal fleet recall: %v\n%s", err, rec.Body.String())
+	}
+	return out
+}
+
+// TestFleetRecallAggregation drives the router's fleet recall view over four
+// stub shards: two sampling (with different window weights and worst rings),
+// one with sampling off (404), one down entirely. The fleet view must report
+// the sample-weighted mean recall, merge the worst entries recall-ascending
+// with shard annotations, and degrade the broken shards inline rather than
+// failing the whole view.
+func TestFleetRecallAggregation(t *testing.T) {
+	s0 := fakeRecallShard(t, &shadow.Status{
+		Enabled: true, SampleOneIn: 8, WindowSamples: 3, Recall: 0.9,
+		Worst: []shadow.Entry{{Seq: 2, Kind: "similar", QueryID: 7, K: 10, Recall: 0.5, TraceID: "aa"}},
+	})
+	s1 := fakeRecallShard(t, &shadow.Status{
+		Enabled: true, SampleOneIn: 8, WindowSamples: 1, Recall: 0.5,
+		Worst: []shadow.Entry{{Seq: 5, Kind: "whitespace", K: 10, Recall: 0.8, TraceID: "bb"}},
+	})
+	s2 := fakeRecallShard(t, nil) // sampling off: 404
+	s3 := fakeRecallShard(t, nil)
+	deadURL := s3.URL
+	s3.Close() // down entirely: transport error
+
+	rt, err := New(Config{Shards: []string{s0.URL, s1.URL, s2.URL, deadURL},
+		ProbeInterval: -1, HedgeQuantile: -1, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	out := fleetRecall(t, rt)
+	if len(out.Shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(out.Shards))
+	}
+	if out.ShardsSampling != 2 {
+		t.Errorf("shards_sampling = %d, want 2", out.ShardsSampling)
+	}
+	if out.WindowSamples != 4 {
+		t.Errorf("window_samples = %d, want 4", out.WindowSamples)
+	}
+	// Weighted mean: (0.9*3 + 0.5*1) / 4 = 0.8.
+	if out.ObservedRecall < 0.799 || out.ObservedRecall > 0.801 {
+		t.Errorf("observed_recall = %v, want 0.8", out.ObservedRecall)
+	}
+	if !out.Shards[0].Sampling || out.Shards[0].Err != "" || out.Shards[0].Status == nil {
+		t.Errorf("shard 0 = %+v, want sampling with status", out.Shards[0])
+	}
+	if out.Shards[2].Sampling || out.Shards[2].Err != "" {
+		t.Errorf("shard 2 = %+v, want sampling off without error", out.Shards[2])
+	}
+	if out.Shards[3].Err == "" {
+		t.Errorf("shard 3 = %+v, want inline error for a dead shard", out.Shards[3])
+	}
+	if len(out.Worst) != 2 {
+		t.Fatalf("worst = %+v, want 2 merged entries", out.Worst)
+	}
+	if out.Worst[0].Recall != 0.5 || out.Worst[0].Shard != 0 || out.Worst[0].TraceID != "aa" {
+		t.Errorf("worst[0] = %+v, want shard 0's recall-0.5 entry first", out.Worst[0])
+	}
+	if out.Worst[1].Recall != 0.8 || out.Worst[1].Shard != 1 {
+		t.Errorf("worst[1] = %+v, want shard 1's recall-0.8 entry", out.Worst[1])
+	}
+}
+
+// TestFleetRecallWorstTruncation pins the merged worst list to its cap: a
+// shard ring larger than fleetWorstMax must come back truncated to the
+// lowest-recall entries.
+func TestFleetRecallWorstTruncation(t *testing.T) {
+	st := &shadow.Status{Enabled: true, WindowSamples: 1, Recall: 0.5}
+	for i := 0; i < fleetWorstMax+8; i++ {
+		st.Worst = append(st.Worst, shadow.Entry{Seq: uint64(i + 1), Kind: "similar",
+			K: 10, Recall: float64(i) / float64(fleetWorstMax+8)})
+	}
+	s0 := fakeRecallShard(t, st)
+	rt, err := New(Config{Shards: []string{s0.URL}, ProbeInterval: -1, HedgeQuantile: -1, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	out := fleetRecall(t, rt)
+	if len(out.Worst) != fleetWorstMax {
+		t.Fatalf("worst = %d entries, want truncated to %d", len(out.Worst), fleetWorstMax)
+	}
+	for i := 1; i < len(out.Worst); i++ {
+		if out.Worst[i].Recall < out.Worst[i-1].Recall {
+			t.Fatalf("worst not recall-ascending at %d: %v then %v", i,
+				out.Worst[i-1].Recall, out.Worst[i].Recall)
+		}
+	}
+}
+
+// TestRouterLatencyExemplarAndTraceRoutes covers two observability contracts
+// at once: a traced request must leave its trace ID as a bucket exemplar on
+// the router_*_latency_seconds histogram, and the same trace must be
+// inspectable through the trace debug routes that ibrouter mounts on its
+// -debug-addr (list filtered by the router.similar root span, then resolved
+// by ID).
+func TestRouterLatencyExemplarAndTraceRoutes(t *testing.T) {
+	tr := trace.NewTracer(64)
+	tr.SetEnabled(true)
+	tr.SetSampleRate(1)
+	_, ts := newCluster(t, 2, Config{Tracer: tr}, nil)
+
+	resp, _ := get(t, ts.URL, "/v1/similar/3?k=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("similar status = %d, want 200", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("traceparent")
+	if len(traceID) < 35 {
+		t.Fatalf("traceparent header = %q, want a W3C traceparent", traceID)
+	}
+	traceID = traceID[3:35] // 00-<32 hex trace id>-...
+
+	hs, ok := obs.Default().Snapshot().Histograms["router_similar_latency_seconds"]
+	if !ok {
+		t.Fatal("router_similar_latency_seconds not registered")
+	}
+	found := false
+	for _, ex := range hs.Exemplars {
+		if ex.TraceID == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no exemplar with trace %s on router_similar_latency_seconds: %+v", traceID, hs.Exemplars)
+	}
+
+	// The trace routes ibrouter serves on -debug-addr resolve the same trace.
+	mux := http.NewServeMux()
+	for _, rtr := range trace.Routes(tr) {
+		mux.Handle(rtr.Pattern, rtr.Handler)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces?endpoint=router.similar", nil))
+	var list []trace.Summary
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("unmarshal /debug/traces: %v", err)
+	}
+	if len(list) == 0 {
+		t.Fatal("/debug/traces?endpoint=router.similar is empty, want the traced request")
+	}
+	found = false
+	for _, s := range list {
+		if s.TraceID == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s absent from /debug/traces list %+v", traceID, list)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+traceID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces/%s status = %d, want 200", traceID, rec.Code)
+	}
+}

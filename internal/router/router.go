@@ -228,9 +228,15 @@ func New(cfg Config) (*Router, error) {
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Routes returns the router's debug routes (/debug/slo when SLO tracking is
-// on) for the -debug-addr mux.
-func (rt *Router) Routes() []obs.Route { return rt.slo.Routes() }
+// Routes returns the router's debug routes for the -debug-addr mux:
+// /debug/slo when SLO tracking is on, and the always-mounted fleet recall
+// view GET /debug/recall, which scatters to every shard's /debug/recall and
+// aggregates a sample-weighted fleet observed recall (shards without shadow
+// sampling report "sampling": false rather than erroring the view).
+func (rt *Router) Routes() []obs.Route {
+	return append(rt.slo.Routes(),
+		obs.Route{Pattern: "GET /debug/recall", Handler: http.HandlerFunc(rt.handleFleetRecall)})
+}
 
 // SetReady flips /readyz, mirroring the shard-side drain protocol.
 func (rt *Router) SetReady(ok bool) { rt.ready.Store(ok) }
@@ -489,7 +495,14 @@ func (rt *Router) shell(name string, m *endpointMetrics, h shellHandler) http.Ha
 			m.errors.Inc()
 		} else {
 			m.requests.Inc()
-			m.latency.Observe(time.Since(start).Seconds())
+			// A traced request leaves its trace ID as a bucket exemplar, the
+			// same contract as the serve-side latency series: a p99 bucket on
+			// the dashboard links straight to a span tree in /debug/traces.
+			if sp.Active() {
+				m.latency.ObserveExemplar(time.Since(start).Seconds(), sp.TraceID().String())
+			} else {
+				m.latency.Observe(time.Since(start).Seconds())
+			}
 		}
 		if resp.partial {
 			partialTotal.Inc()

@@ -46,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/shadow"
 	"repro/internal/trace"
 )
 
@@ -122,6 +123,21 @@ type Config struct {
 	// /healthz. Nil keeps the disabled path inert: no ticker goroutine, no
 	// extra metrics, byte-identical responses.
 	SLO *SLOConfig
+	// Shadow, when non-nil with SampleN >= 1, enables shadow-sampled
+	// exact-vs-ANN quality observability: 1 in SampleN ANN-served similar and
+	// whitespace cache misses are re-executed as exact scans off the critical
+	// path (bounded queue, dedicated worker, drop-and-count on saturation)
+	// and diffed against the served answer into the ann_observed_recall
+	// window, GET /debug/recall, and the /admin/reload canary. Nil keeps the
+	// disabled path inert like SLO: no goroutine, no metric registrations,
+	// byte-identical responses.
+	Shadow *shadow.Config
+	// ReloadGuard, when positive, makes /admin/reload refuse the generation
+	// swap if the shadow canary's mean result-set Jaccard between the serving
+	// and incoming generations falls below it (409 Conflict; the incoming
+	// generation is closed). Requires Shadow; zero (the default) reports the
+	// canary diff without ever refusing.
+	ReloadGuard float64
 }
 
 func (c Config) withDefaults() Config {
@@ -255,10 +271,11 @@ type Server struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	started time.Time
-	gens    atomic.Uint64 // generation counter; the live state carries its value
-	slo     *SLOTracker   // nil when Config.SLO is nil (SLO tracking off)
-	ready   atomic.Bool   // /readyz state; flipped false when draining begins
-	closed  atomic.Bool   // Close ran; guards the current generation's release
+	gens    atomic.Uint64   // generation counter; the live state carries its value
+	slo     *SLOTracker     // nil when Config.SLO is nil (SLO tracking off)
+	shadow  *shadow.Sampler // nil when Config.Shadow is nil (shadow sampling off)
+	ready   atomic.Bool     // /readyz state; flipped false when draining begins
+	closed  atomic.Bool     // Close ran; guards the current generation's release
 
 	mSimilar    endpointMetrics
 	mRecommend  endpointMetrics
@@ -292,8 +309,14 @@ func New(init Loaded, load Loader, cfg Config) (*Server, error) {
 		mInfer:      newEndpointMetrics("infer"),
 		mReload:     newEndpointMetrics("reload"),
 	}
+	if cfg.Shadow != nil && cfg.Shadow.SampleN >= 1 {
+		s.shadow = shadow.New(*cfg.Shadow)
+	}
 	if cfg.SLO != nil {
 		s.slo = NewSLOTracker(*cfg.SLO, "serve", []string{"similar", "recommend", "whitespace", "infer"})
+		if s.shadow != nil {
+			s.slo.SetRecallSource(s.shadow)
+		}
 	}
 	s.ready.Store(true)
 	first := &state{ix: ix, model: model, cache: newLRU(cfg.CacheSize), gen: s.gens.Add(1), close: init.Close}
@@ -308,6 +331,12 @@ func New(init Loaded, load Loader, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/infer", s.limited("infer", &s.mInfer, s.handleInfer))
 	mux.HandleFunc("POST /internal/recommend", s.limited("recommend", &s.mRecommend, s.handleInternalRecommend))
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	// With shadow sampling on, /debug/recall also mounts on the main mux so
+	// routers and load generators — which only know the serving address —
+	// can scrape observed recall; off, the route set is unchanged.
+	for _, rt := range s.shadow.Routes() {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -750,6 +779,18 @@ type healthResponse struct {
 	// ANN is present only when an approximate candidate router is installed
 	// (ibserve -ann): the coarse index shape the scans prune through.
 	ANN *annJSON `json:"ann,omitempty"`
+	// Shadow is present only with shadow sampling on (-shadow-sample): the
+	// live observed-recall summary (full detail at GET /debug/recall).
+	Shadow *shadowHealthJSON `json:"shadow,omitempty"`
+}
+
+// shadowHealthJSON is the one-line shadow summary folded into /healthz when
+// sampling is on; omitted (nil pointer, omitempty) when off so the disabled
+// path's /healthz body is byte-identical.
+type shadowHealthJSON struct {
+	SampleOneIn    int     `json:"sample_one_in"`
+	ObservedRecall float64 `json:"observed_recall"`
+	WindowSamples  uint64  `json:"window_samples"`
 }
 
 type partitionJSON struct {
@@ -771,6 +812,9 @@ type reloadResponse struct {
 	Invalidated int    `json:"invalidated"`
 	Generation  uint64 `json:"generation"`
 	Reloaded    bool   `json:"reloaded"`
+	// Canary is present only when shadow sampling had queries to replay: the
+	// generation diff measured against the incoming state before the swap.
+	Canary *shadow.GenerationDiff `json:"canary,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -810,6 +854,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		info := p.Info()
 		resp.ANN = &annJSON{Cells: info.Cells, NProbe: info.NProbe, Mapped: info.Mapped}
 	}
+	if s.shadow != nil {
+		mean, n := s.shadow.ObservedRecall()
+		resp.Shadow = &shadowHealthJSON{
+			SampleOneIn:    s.cfg.Shadow.SampleN,
+			ObservedRecall: mean,
+			WindowSamples:  n,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
@@ -824,6 +876,68 @@ func (s *Server) matches(st *state, ms []core.Match) []matchJSON {
 		}
 	}
 	return out
+}
+
+// shadowMatches and shadowProspects convert core answers into the shadow
+// package's generation-neutral result shape.
+func shadowMatches(ms []core.Match) []shadow.Result {
+	out := make([]shadow.Result, len(ms))
+	for i, m := range ms {
+		out[i] = shadow.Result{ID: int64(m.CompanyID), Score: m.Similarity}
+	}
+	return out
+}
+
+func shadowProspects(ps []core.WhitespaceProspect) []shadow.Result {
+	out := make([]shadow.Result, len(ps))
+	for i, p := range ps {
+		out[i] = shadow.Result{ID: int64(p.CompanyID), Score: p.Similarity}
+	}
+	return out
+}
+
+// shadowScan re-executes a sampled query against ix through the index's
+// configured scan path — exact when ix carries no pruner (the shadow
+// re-execution and the canary's exact leg), ANN when it does (the canary's
+// served leg).
+func shadowScan(ctx context.Context, ix *core.Index, q shadow.Query) ([]shadow.Result, error) {
+	if q.Kind == "whitespace" {
+		ps, err := ix.WhitespaceContext(ctx, q.Clients, q.K, q.Filter)
+		if err != nil {
+			return nil, err
+		}
+		return shadowProspects(ps), nil
+	}
+	ms, err := ix.TopKContext(ctx, q.ID, q.K, q.Filter)
+	if err != nil {
+		return nil, err
+	}
+	return shadowMatches(ms), nil
+}
+
+// shadowSubmit enqueues one sampled query for exact re-execution. The sample
+// holds its own reference on the generation it was served from — the shadow
+// worker's exact scan must never race a reload's munmap — and the exact leg
+// runs on a pruner-free shallow copy of the index (the copy preserves the
+// scan partition; Corpus and Reps are shared, not copied).
+func (s *Server) shadowSubmit(ctx context.Context, st *state, q shadow.Query, served []shadow.Result) {
+	if !st.acquire() {
+		return // generation already dead (Server.Close raced the request)
+	}
+	exactIx := *st.ix
+	exactIx.SetPruner(nil)
+	smp := shadow.Sample{
+		Query:  q,
+		Served: served,
+		Exact: func(ctx context.Context) ([]shadow.Result, error) {
+			return shadowScan(ctx, &exactIx, q)
+		},
+		Release: st.release,
+	}
+	if sp := trace.FromContext(ctx); sp.Active() {
+		smp.TraceID = sp.TraceID().String()
+	}
+	s.shadow.Submit(smp)
 }
 
 func (s *Server) handleSimilar(ctx context.Context, st *state, r *http.Request) (response, error) {
@@ -847,9 +961,16 @@ func (s *Server) handleSimilar(ctx context.Context, st *state, r *http.Request) 
 	if body, ok := st.cache.get(key); ok {
 		return response{raw: body}, nil
 	}
+	// The sampling decision is drawn before the scan, once per eligible query
+	// (ANN-served cache miss), so the decision stream depends only on the
+	// request sequence — a failed scan still consumes its decision.
+	sampled := s.shadow != nil && st.ix.Pruner() != nil && s.shadow.Sample()
 	ms, err := st.ix.TopKContext(ctx, id, k, f)
 	if err != nil {
 		return response{}, err
+	}
+	if sampled {
+		s.shadowSubmit(ctx, st, shadow.Query{Kind: "similar", ID: id, K: k, Filter: f}, shadowMatches(ms))
 	}
 	return response{
 		value: similarResponse{
@@ -914,9 +1035,15 @@ func (s *Server) handleWhitespace(ctx context.Context, st *state, r *http.Reques
 	if k == 0 {
 		k = s.cfg.DefaultK
 	}
-	prospects, err := st.ix.WhitespaceContext(ctx, req.Clients, k, req.Filter.filter())
+	f := req.Filter.filter()
+	sampled := s.shadow != nil && st.ix.Pruner() != nil && s.shadow.Sample()
+	prospects, err := st.ix.WhitespaceContext(ctx, req.Clients, k, f)
 	if err != nil {
 		return response{}, err
+	}
+	if sampled {
+		q := shadow.Query{Kind: "whitespace", Clients: append([]int(nil), req.Clients...), K: k, Filter: f}
+		s.shadowSubmit(ctx, st, q, shadowProspects(prospects))
 	}
 	out := make([]prospectJSON, len(prospects))
 	for i, p := range prospects {
@@ -1040,6 +1167,42 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: reload rejected: %w", err))
 		return
 	}
+	// Canary phase: before the incoming generation can take traffic, replay
+	// the last M shadow-sampled queries against it — through its configured
+	// scan path and an exact copy — and diff against what the serving
+	// generation answered. The handler owns the incoming generation
+	// exclusively here (no refcounting needed until the swap publishes it).
+	var canary *shadow.GenerationDiff
+	if s.shadow != nil {
+		servedIx, exactIx := *ix, *ix
+		exactIx.SetPruner(nil)
+		exec := func(ctx context.Context, q shadow.Query) (served, exact []shadow.Result, err error) {
+			if served, err = shadowScan(ctx, &servedIx, q); err != nil {
+				return nil, nil, err
+			}
+			if exact, err = shadowScan(ctx, &exactIx, q); err != nil {
+				return nil, nil, err
+			}
+			return served, exact, nil
+		}
+		if diff, ok := s.shadow.CanaryDiff(r.Context(), exec); ok {
+			canary = &diff
+			if g := s.cfg.ReloadGuard; g > 0 && diff.Queries > diff.Errors && diff.MeanJaccard < g {
+				s.shadow.RecordRefusal()
+				if loaded.Close != nil {
+					_ = loaded.Close()
+				}
+				s.mReload.errors.Inc()
+				s.cfg.Logger.Warn("reload refused by canary guard",
+					"mean_jaccard", diff.MeanJaccard, "guard", g,
+					"recall_delta", diff.RecallDelta, "queries", diff.Queries)
+				s.writeError(w, r, http.StatusConflict,
+					fmt.Errorf("serve: reload refused: canary mean result-set Jaccard %.3f below guard %.3f over %d replayed queries (recall delta %+.3f)",
+						diff.MeanJaccard, g, diff.Queries, diff.RecallDelta))
+				return
+			}
+		}
+	}
 	next := &state{ix: ix, model: model, cache: newLRU(s.cfg.CacheSize), gen: s.gens.Add(1), close: loaded.Close}
 	next.refs.Store(1)
 	old := s.cur.Swap(next)
@@ -1056,6 +1219,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Invalidated: old.cache.len(),
 		Generation:  next.gen,
 		Reloaded:    true,
+		Canary:      canary,
 	}
 	if model != nil {
 		resp.Topics = model.K

@@ -1,0 +1,372 @@
+package shadow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func results(ids ...int64) []Result {
+	out := make([]Result, len(ids))
+	for i, id := range ids {
+		out[i] = Result{ID: id, Score: 1 - float64(i)*0.1}
+	}
+	return out
+}
+
+func TestDiverge(t *testing.T) {
+	// Identical answers: perfect recall, agreement, no displacement or drift.
+	d := Diverge(results(3, 1, 2), results(3, 1, 2))
+	if d.Recall != 1 || !d.Top1 || d.MeanDisplacement != 0 || d.MaxDrift != 0 || len(d.Missing) != 0 {
+		t.Fatalf("identical answers diverged: %+v", d)
+	}
+
+	// Served missed one exact id and leads with the wrong one.
+	d = Diverge(results(1, 3, 9), results(3, 1, 2))
+	if got, want := d.Recall, 2.0/3.0; got != want {
+		t.Fatalf("recall = %g, want %g", got, want)
+	}
+	if d.Top1 {
+		t.Fatal("top1 should disagree")
+	}
+	if len(d.Missing) != 1 || d.Missing[0] != 2 {
+		t.Fatalf("missing = %v, want [2]", d.Missing)
+	}
+	// ids 3 and 1 swapped ranks: displacement 1 each, mean 1.
+	if d.MeanDisplacement != 1 {
+		t.Fatalf("mean displacement = %g, want 1", d.MeanDisplacement)
+	}
+
+	// Score drift: same ids, shifted scores.
+	served := []Result{{ID: 7, Score: 0.9}, {ID: 8, Score: 0.5}}
+	exact := []Result{{ID: 7, Score: 0.95}, {ID: 8, Score: 0.5}}
+	d = Diverge(served, exact)
+	if got := d.MaxDrift; got < 0.049 || got > 0.051 {
+		t.Fatalf("max drift = %g, want ~0.05", got)
+	}
+
+	// Empty exact answer: vacuous perfection.
+	d = Diverge(nil, nil)
+	if d.Recall != 1 || !d.Top1 {
+		t.Fatalf("empty answers should be perfect: %+v", d)
+	}
+	// Served empty, exact not: zero recall, all missing.
+	d = Diverge(nil, results(1, 2))
+	if d.Recall != 0 || d.Top1 || len(d.Missing) != 2 {
+		t.Fatalf("empty served should miss everything: %+v", d)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []Result
+		want float64
+	}{
+		{results(1, 2, 3), results(1, 2, 3), 1},
+		{results(1, 2), results(3, 4), 0},
+		{results(1, 2, 3), results(2, 3, 4), 0.5},
+		{nil, nil, 1},
+		{results(1), nil, 0},
+	}
+	for i, c := range cases {
+		if got := jaccard(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: jaccard = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// TestSampleDeterminism pins the chaos-style decision discipline: one seeded
+// stream drawn in arrival order, so two samplers with the same seed and rate
+// make the same decision sequence, and a different seed diverges.
+func TestSampleDeterminism(t *testing.T) {
+	mk := func(seed int64) []bool {
+		s := New(Config{SampleN: 3, Seed: seed})
+		defer s.Close()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Sample()
+		}
+		return out
+	}
+	a, b, c := mk(11), mk(11), mk(12)
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("1-in-3 sampling hit %d of %d decisions", hits, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+	// A nil sampler never samples.
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+}
+
+func TestProcessWorstRingAndCanary(t *testing.T) {
+	s := New(Config{SampleN: 1, Worst: 2, Recent: 4, Queue: 8})
+	defer s.Close()
+	base := s.samples.Value()
+
+	var releases atomic.Int64
+	submit := func(kind string, id int, served, exact []Result) {
+		s.Submit(Sample{
+			Query:   Query{Kind: kind, ID: id, K: len(exact), Filter: core.Filter{Country: "US"}},
+			Served:  served,
+			TraceID: fmt.Sprintf("%032x", id),
+			Exact:   func(context.Context) ([]Result, error) { return exact, nil },
+			Release: func() { releases.Add(1) },
+		})
+	}
+	submit("similar", 1, results(1, 2, 3), results(1, 2, 3)) // recall 1
+	submit("similar", 2, results(1, 9), results(1, 2))       // recall 0.5
+	submit("whitespace", 3, results(7), results(8))          // recall 0
+	waitFor(t, "3 processed samples", func() bool { return s.samples.Value() >= base+3 })
+	if got := releases.Load(); got != 3 {
+		t.Fatalf("%d releases, want 3", got)
+	}
+
+	st := s.Status()
+	if !st.Enabled || st.SampleOneIn != 1 {
+		t.Fatalf("status header wrong: %+v", st)
+	}
+	if len(st.Worst) != 2 {
+		t.Fatalf("worst ring holds %d entries, want capacity 2", len(st.Worst))
+	}
+	if st.Worst[0].Recall != 0 || st.Worst[0].Kind != "whitespace" {
+		t.Fatalf("worst entry should be the recall-0 whitespace query: %+v", st.Worst[0])
+	}
+	if st.Worst[1].Recall != 0.5 || st.Worst[1].QueryID != 2 {
+		t.Fatalf("second-worst should be the recall-0.5 query: %+v", st.Worst[1])
+	}
+	if st.Worst[0].TraceID == "" {
+		t.Fatal("worst entry lost its trace id")
+	}
+	if st.Worst[0].FilterKey != (core.Filter{Country: "US"}).Key() {
+		t.Fatalf("filter key = %q", st.Worst[0].FilterKey)
+	}
+
+	// Canary replay: an incoming generation that answers every query with the
+	// same ids has Jaccard 1; one answering disjoint ids has Jaccard 0.
+	sameExec := func(_ context.Context, q Query) ([]Result, []Result, error) {
+		switch q.ID {
+		case 1:
+			return results(1, 2, 3), results(1, 2, 3), nil
+		case 2:
+			return results(1, 9), results(1, 2), nil
+		default:
+			return results(7), results(8), nil
+		}
+	}
+	diff, ok := s.CanaryDiff(context.Background(), sameExec)
+	if !ok {
+		t.Fatal("canary found no replay buffer")
+	}
+	if diff.Queries != 3 || diff.Errors != 0 {
+		t.Fatalf("canary replayed %d queries, %d errors", diff.Queries, diff.Errors)
+	}
+	if diff.MeanJaccard != 1 || diff.MinJaccard != 1 {
+		t.Fatalf("identical generation should have Jaccard 1: %+v", diff)
+	}
+	if diff.RecallDelta != 0 {
+		t.Fatalf("identical generation should have zero recall delta: %+v", diff)
+	}
+
+	disjoint := func(_ context.Context, q Query) ([]Result, []Result, error) {
+		return results(100, 101), results(100, 101), nil
+	}
+	diff, ok = s.CanaryDiff(context.Background(), disjoint)
+	if !ok || diff.MeanJaccard != 0 {
+		t.Fatalf("disjoint generation should have Jaccard 0: %+v ok=%v", diff, ok)
+	}
+	if diff.CanaryRecall != 1 {
+		t.Fatalf("disjoint generation is internally consistent, canary recall = %g", diff.CanaryRecall)
+	}
+
+	// Per-query replay errors are counted and skipped.
+	failing := func(_ context.Context, q Query) ([]Result, []Result, error) {
+		if q.ID == 2 {
+			return nil, nil, errors.New("id out of range on incoming corpus")
+		}
+		return results(1), results(1), nil
+	}
+	diff, ok = s.CanaryDiff(context.Background(), failing)
+	if !ok || diff.Errors != 1 || diff.Queries != 3 {
+		t.Fatalf("failing replay: %+v ok=%v", diff, ok)
+	}
+}
+
+func TestExactFaultCountsErrors(t *testing.T) {
+	injected := errors.New("injected drill fault")
+	var calls atomic.Int64
+	s := New(Config{SampleN: 1, ExactFault: func() error {
+		if calls.Add(1)%2 == 1 {
+			return injected
+		}
+		return nil
+	}})
+	defer s.Close()
+	errBase, okBase := s.exactErr.Value(), s.samples.Value()
+
+	var releases atomic.Int64
+	for i := 0; i < 4; i++ {
+		s.Submit(Sample{
+			Query:   Query{Kind: "similar", ID: i, K: 1},
+			Served:  results(1),
+			Exact:   func(context.Context) ([]Result, error) { return results(1), nil },
+			Release: func() { releases.Add(1) },
+		})
+	}
+	waitFor(t, "4 samples resolved", func() bool {
+		return (s.exactErr.Value()-errBase)+(s.samples.Value()-okBase) >= 4
+	})
+	if got := s.exactErr.Value() - errBase; got != 2 {
+		t.Fatalf("exact errors = %d, want 2 (every other sample faulted)", got)
+	}
+	if got := s.samples.Value() - okBase; got != 2 {
+		t.Fatalf("processed samples = %d, want 2", got)
+	}
+	if releases.Load() != 4 {
+		t.Fatalf("%d releases, want 4 (faulted samples must release too)", releases.Load())
+	}
+}
+
+// TestSubmitNeverBlocks pins the off-critical-path contract: with the worker
+// wedged and the queue full, Submit returns immediately, drops, counts, and
+// still releases the sample's generation reference.
+func TestSubmitNeverBlocks(t *testing.T) {
+	s := New(Config{SampleN: 1, Queue: 1})
+	defer s.Close()
+	dropBase := s.dropped.Value()
+
+	processing := make(chan struct{})
+	unblock := make(chan struct{})
+	var releases atomic.Int64
+	mk := func(block bool) Sample {
+		return Sample{
+			Query:  Query{Kind: "similar", K: 1},
+			Served: results(1),
+			Exact: func(context.Context) ([]Result, error) {
+				if block {
+					close(processing)
+					<-unblock
+				}
+				return results(1), nil
+			},
+			Release: func() { releases.Add(1) },
+		}
+	}
+	s.Submit(mk(true)) // worker picks this up and wedges
+	<-processing
+	s.Submit(mk(false)) // sits in the 1-slot queue
+	done := make(chan struct{})
+	go func() {
+		s.Submit(mk(false)) // queue full: must drop, not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit blocked on a full queue")
+	}
+	if got := s.dropped.Value() - dropBase; got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	waitFor(t, "dropped sample released", func() bool { return releases.Load() >= 1 })
+	close(unblock)
+	waitFor(t, "all samples released", func() bool { return releases.Load() == 3 })
+}
+
+// TestCloseReleasesQueued pins that Close never strands a generation
+// reference: queued-but-unprocessed samples are released, and Submit after
+// Close releases immediately.
+func TestCloseReleasesQueued(t *testing.T) {
+	s := New(Config{SampleN: 1, Queue: 4})
+	processing := make(chan struct{})
+	unblock := make(chan struct{})
+	var releases atomic.Int64
+	s.Submit(Sample{
+		Query: Query{Kind: "similar", K: 1}, Served: results(1),
+		Exact: func(context.Context) ([]Result, error) {
+			close(processing)
+			<-unblock
+			return results(1), nil
+		},
+		Release: func() { releases.Add(1) },
+	})
+	<-processing
+	for i := 0; i < 3; i++ { // queue these behind the wedged worker
+		s.Submit(Sample{
+			Query: Query{Kind: "similar", K: 1}, Served: results(1),
+			Exact:   func(context.Context) ([]Result, error) { return results(1), nil },
+			Release: func() { releases.Add(1) },
+		})
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(unblock)
+	}()
+	s.Close()
+	if got := releases.Load(); got != 4 {
+		t.Fatalf("%d releases after Close, want 4", got)
+	}
+	s.Submit(Sample{Release: func() { releases.Add(1) }})
+	if got := releases.Load(); got != 5 {
+		t.Fatalf("Submit after Close must release immediately, got %d", got)
+	}
+	s.Close() // double Close is safe
+}
+
+// TestNilSamplerIsInert pins the disabled-path contract on the nil receiver.
+func TestNilSamplerIsInert(t *testing.T) {
+	var s *Sampler
+	if s.Routes() != nil {
+		t.Fatal("nil sampler returned routes")
+	}
+	if mean, n := s.ObservedRecall(); mean != 0 || n != 0 {
+		t.Fatal("nil sampler reported recall")
+	}
+	if _, ok := s.CanaryDiff(context.Background(), nil); ok {
+		t.Fatal("nil sampler produced a canary diff")
+	}
+	released := false
+	s.Submit(Sample{Release: func() { released = true }})
+	if !released {
+		t.Fatal("nil sampler must release submitted samples")
+	}
+	s.RecordRefusal()
+	s.Close()
+}

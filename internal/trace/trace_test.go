@@ -358,6 +358,78 @@ func TestHTTPHandlers(t *testing.T) {
 	}
 }
 
+// TestListHandlerQueryFilters pins the /debug/traces query-parameter
+// contract at the handler level: endpoint is an exact root-span match (no
+// prefixes), min_ms and limit filter and truncate, and invalid values fall
+// back (bad or non-positive limit → the default 50, bad or non-positive
+// min_ms → 0, i.e. no duration filter) instead of erroring.
+func TestListHandlerQueryFilters(t *testing.T) {
+	tr := newTestTracer(16)
+	_, slow := tr.Start(context.Background(), "serve.similar")
+	time.Sleep(30 * time.Millisecond)
+	slow.End()
+	for i := 0; i < 3; i++ {
+		_, sp := tr.Start(context.Background(), "serve.similar")
+		sp.End()
+	}
+	_, sp := tr.Start(context.Background(), "serve.recommend")
+	sp.End()
+
+	list := func(query string) []Summary {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		tr.listHandler(rec, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /debug/traces%s = %d, want 200", query, rec.Code)
+		}
+		var out []Summary
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", query, err)
+		}
+		return out
+	}
+
+	if got := list(""); len(got) != 5 {
+		t.Fatalf("unfiltered list = %d traces, want 5", len(got))
+	}
+	if got := list("?endpoint=serve.similar"); len(got) != 4 {
+		t.Fatalf("endpoint=serve.similar = %d, want 4", len(got))
+	}
+	// Exact match only: a prefix of a real root-span name matches nothing.
+	if got := list("?endpoint=serve.simil"); len(got) != 0 {
+		t.Fatalf("endpoint=serve.simil = %d, want 0 (exact match only)", len(got))
+	}
+	if got := list("?limit=2"); len(got) != 2 {
+		t.Fatalf("limit=2 = %d, want 2", len(got))
+	}
+	// min_ms keeps the slow trace and drops the sub-millisecond ones.
+	got := list("?min_ms=10")
+	found := false
+	for _, s := range got {
+		if s.TraceID == slow.TraceID().String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("min_ms=10 = %+v, want the 30ms trace included", got)
+	}
+	if got := list("?min_ms=3600000"); len(got) != 0 {
+		t.Fatalf("min_ms=1h = %d, want 0", len(got))
+	}
+
+	// Invalid fallbacks: bad/zero/negative limit falls back to the default 50,
+	// bad/negative min_ms to 0 — both render the full buffer here.
+	for _, q := range []string{"?limit=abc", "?limit=0", "?limit=-3", "?min_ms=abc", "?min_ms=-5"} {
+		if got := list(q); len(got) != 5 {
+			t.Fatalf("%s = %d traces, want the fallback full list of 5", q, len(got))
+		}
+	}
+	// Valid and invalid parameters combine independently.
+	if got := list("?endpoint=serve.recommend&limit=abc&min_ms=-1"); len(got) != 1 {
+		t.Fatalf("combined query = %d, want 1", len(got))
+	}
+}
+
 func TestSetCapacityResetsRing(t *testing.T) {
 	tr := newTestTracer(2)
 	_, sp := tr.Start(context.Background(), "req")

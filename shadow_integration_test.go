@@ -1,0 +1,187 @@
+package hiddenlayer
+
+// End-to-end test for live quality observability on the ibserve binary: an
+// ANN server with -shadow-sample 1 re-executes every served query exactly off
+// the critical path, populates ann_observed_recall and the /debug/recall
+// worst-divergence ring (whose entries resolve to live span trees at
+// /debug/traces/{id}), feeds the -slo-recall objective on /debug/slo, and
+// replays the sampled queries as a canary on /admin/reload, reporting the
+// generation diff in the reload response.
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recallStatus mirrors shadow.Status for decoding without importing internal
+// packages into the binary-level test.
+type recallStatus struct {
+	Enabled       bool    `json:"enabled"`
+	SampleOneIn   int     `json:"sample_one_in"`
+	Samples       uint64  `json:"samples_total"`
+	Dropped       uint64  `json:"dropped_total"`
+	ExactErrors   uint64  `json:"exact_errors_total"`
+	WindowSamples uint64  `json:"window_samples"`
+	Recall        float64 `json:"observed_recall"`
+	Worst         []struct {
+		Kind    string  `json:"kind"`
+		K       int     `json:"k"`
+		Recall  float64 `json:"recall"`
+		TraceID string  `json:"trace_id"`
+	} `json:"worst"`
+}
+
+func TestShadowRecallIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ibgen := buildTool(t, dir, "ibgen")
+	ibtrain := buildTool(t, dir, "ibtrain")
+	ibserve := buildTool(t, dir, "ibserve")
+
+	corpusPath := filepath.Join(dir, "corpus.jsonl")
+	modelPath := filepath.Join(dir, "lda.gob")
+	runTool(t, ibgen, "-companies", "240", "-seed", "9", "-out", corpusPath)
+	runTool(t, ibtrain, "-model", "lda", "-topics=3", "-corpus", corpusPath,
+		"-out", modelPath, "-seed", "1")
+
+	// A genuinely pruned ANN server (nprobe 2 of 12 cells, so divergence is
+	// possible) with the full quality stack on: every served query shadowed,
+	// all traces retained, the recall objective wired into /debug/slo, and
+	// the reload canary armed with a permissive guard.
+	srv := startProc(t, ibserve, true,
+		"-corpus", corpusPath, "-model", modelPath,
+		"-addr", "localhost:0", "-debug-addr", "localhost:0", "-k", "5", "-quiet",
+		"-ann", "-ann-cells", "12", "-ann-nprobe", "2",
+		"-shadow-sample", "1", "-reload-guard", "0.1",
+		"-trace", "-trace-sample", "1",
+		"-slo", "-slo-recall", "0.5")
+
+	const similarQueries = 8
+	for i := 0; i < similarQueries; i++ {
+		path := "/v1/similar/" + strconv.Itoa(i*13) + "?k=5"
+		if code, body := httpGetBody(t, srv.base+path); code != http.StatusOK {
+			t.Fatalf("%s: status %d\n%s", path, code, body)
+		}
+	}
+	if code, body := httpPostBody(t, srv.base+"/v1/whitespace",
+		map[string]any{"clients": []int{0, 5, 9}, "k": 5}); code != http.StatusOK {
+		t.Fatalf("/v1/whitespace: status %d\n%s", code, body)
+	}
+
+	// The shadow worker drains asynchronously: poll /debug/recall until every
+	// driven query has been re-executed exactly.
+	const wantSamples = similarQueries + 1
+	var st recallStatus
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := httpGetBody(t, srv.base+"/debug/recall")
+		if code != http.StatusOK {
+			t.Fatalf("/debug/recall: status %d\n%s", code, body)
+		}
+		st = recallStatus{}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("/debug/recall: %v\n%s", err, body)
+		}
+		if st.Samples+st.Dropped+st.ExactErrors >= wantSamples {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/recall stuck at %d samples, want %d\n%s", st.Samples, wantSamples, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !st.Enabled || st.SampleOneIn != 1 {
+		t.Fatalf("/debug/recall = %+v, want enabled at 1-in-1", st)
+	}
+	if st.ExactErrors != 0 || st.Dropped != 0 {
+		t.Fatalf("shadow pipeline lost samples: %d exact errors, %d dropped", st.ExactErrors, st.Dropped)
+	}
+	if st.Recall <= 0 || st.Recall > 1 || st.WindowSamples < wantSamples {
+		t.Fatalf("observed recall = %v over %d window samples, want in (0,1] over >= %d",
+			st.Recall, st.WindowSamples, wantSamples)
+	}
+	if len(st.Worst) == 0 {
+		t.Fatal("/debug/recall worst ring empty after sampled queries")
+	}
+
+	// Every worst-divergence entry names the trace of the request it came
+	// from, and the ID resolves to a live span tree on the debug listener.
+	for _, e := range st.Worst {
+		if e.TraceID == "" {
+			t.Fatalf("worst entry without a trace id under -trace -trace-sample 1: %+v", e)
+		}
+	}
+	var tn traceNode
+	getTraceJSON(t, srv.debug, st.Worst[0].TraceID, &tn)
+
+	// The divergence metrics surface on the debug listener's /metrics.
+	code, body := httpGetBody(t, srv.debug+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	metrics := string(body)
+	if got := metricValue(t, metrics, "shadow_samples_total"); got < wantSamples {
+		t.Errorf("shadow_samples_total = %d, want >= %d", got, wantSamples)
+	}
+	if !strings.Contains(metrics, "ann_observed_recall") {
+		t.Error("/metrics omits the ann_observed_recall gauge")
+	}
+
+	// The recall objective joined /debug/slo as the third pillar.
+	var slo struct {
+		Recall *struct {
+			Objective float64 `json:"objective"`
+			Observed  float64 `json:"observed"`
+			Samples   uint64  `json:"samples"`
+			OK        bool    `json:"ok"`
+		} `json:"recall"`
+	}
+	code, body = httpGetBody(t, srv.debug+"/debug/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slo: status %d\n%s", code, body)
+	}
+	if err := json.Unmarshal(body, &slo); err != nil {
+		t.Fatal(err)
+	}
+	if slo.Recall == nil || slo.Recall.Objective != 0.5 || slo.Recall.Samples < wantSamples {
+		t.Fatalf("/debug/slo recall = %+v, want objective 0.5 evaluated over >= %d samples", slo.Recall, wantSamples)
+	}
+	if slo.Recall.Observed != st.Recall {
+		t.Errorf("/debug/slo observed recall %v != /debug/recall %v", slo.Recall.Observed, st.Recall)
+	}
+
+	// Reload replays the sampled queries as a canary against the incoming
+	// generation. The files on disk are unchanged, so the rebuilt state is
+	// bit-identical and the diff must be clean — and reported in the response.
+	var reload struct {
+		Generation uint64 `json:"generation"`
+		Reloaded   bool   `json:"reloaded"`
+		Canary     *struct {
+			Queries     int     `json:"queries"`
+			Errors      int     `json:"errors"`
+			MeanJaccard float64 `json:"mean_jaccard"`
+			RecallDelta float64 `json:"recall_delta"`
+		} `json:"canary"`
+	}
+	code, body = httpPostBody(t, srv.base+"/admin/reload", map[string]any{})
+	if code != http.StatusOK {
+		t.Fatalf("/admin/reload: status %d\n%s", code, body)
+	}
+	if err := json.Unmarshal(body, &reload); err != nil {
+		t.Fatal(err)
+	}
+	if !reload.Reloaded || reload.Generation != 2 || reload.Canary == nil {
+		t.Fatalf("/admin/reload = %+v, want generation 2 with a canary diff\n%s", reload, body)
+	}
+	if reload.Canary.Queries == 0 || reload.Canary.Errors != 0 ||
+		reload.Canary.MeanJaccard != 1 || reload.Canary.RecallDelta != 0 {
+		t.Fatalf("reload canary = %+v, want a clean diff over replayed queries", reload.Canary)
+	}
+}
